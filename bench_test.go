@@ -1,0 +1,250 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, plus the ablation benches DESIGN.md calls out. Each
+// iteration regenerates the artifact end-to-end (workload generation,
+// paired simulation, metric computation) and reports the headline numbers
+// as custom benchmark metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the entire evaluation. Figure benches run at a reduced
+// workload scale (the experiments binary runs the full scale; the bench
+// exists to regenerate the series shape quickly and to track simulator
+// performance).
+package clockgate
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cacti"
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/stamp"
+)
+
+// benchScale shrinks workloads for the figure benches.
+const benchScale = 0.25
+
+func benchOptions() experiments.Options {
+	o := experiments.DefaultOptions()
+	o.Scale = benchScale
+	return o
+}
+
+func benchSpec(b *testing.B, app stamp.App, np int, w0 sim.Time) core.RunSpec {
+	b.Helper()
+	spec := stamp.MustSpec(app)
+	spec.TotalTxs = int(float64(spec.TotalTxs) * benchScale)
+	tr, err := spec.Generate(np, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return core.RunSpec{Trace: tr, Processors: np, Seed: 42, W0: w0}
+}
+
+// BenchmarkTableI regenerates the power-model derivation.
+func BenchmarkTableI(b *testing.B) {
+	var m power.Model
+	for i := 0; i < b.N; i++ {
+		m = power.Derive(power.DefaultBreakdown())
+	}
+	b.ReportMetric(m.Miss, "miss-factor")
+	b.ReportMetric(m.Commit, "commit-factor")
+	b.ReportMetric(m.Gated, "gated-factor")
+}
+
+// BenchmarkTableII regenerates the machine-parameter table.
+func BenchmarkTableII(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = experiments.TableII()
+	}
+	if len(out) == 0 {
+		b.Fatal("empty table")
+	}
+}
+
+// BenchmarkFig3 regenerates the TCC data-cache power curves.
+func BenchmarkFig3(b *testing.B) {
+	cfg := cacti.DefaultConfig()
+	var rows []cacti.Fig3Row
+	for i := 0; i < b.N; i++ {
+		rows = cacti.Figure3(cfg)
+	}
+	if len(rows) == 0 {
+		b.Fatal("no rows")
+	}
+	b.ReportMetric(cfg.RWBitPower(2, 64)-cacti.BasePower, "pct-at-64KB-2B")
+	b.ReportMetric(cfg.TCCFactor(2, 64), "tcc-factor")
+}
+
+// benchFigure runs the paired experiment matrix behind Figures 4-6 and
+// reports the metric the figure plots.
+func benchFigure(b *testing.B, metric func(power.Comparison) float64, unit string) {
+	for _, app := range stamp.PaperApps() {
+		for _, np := range []int{4, 8, 16} {
+			b.Run(fmt.Sprintf("%s/np%d", app, np), func(b *testing.B) {
+				rs := benchSpec(b, app, np, 0)
+				var cmp power.Comparison
+				for i := 0; i < b.N; i++ {
+					out, err := core.RunPair(rs)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cmp = out.Comparison
+				}
+				b.ReportMetric(metric(cmp), unit)
+			})
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates the parallel-execution-time comparison: the
+// reported metric is the speed-up annotation of each gated bar.
+func BenchmarkFig4(b *testing.B) {
+	benchFigure(b, func(c power.Comparison) float64 { return c.SpeedUp }, "speedup")
+}
+
+// BenchmarkFig5 regenerates the energy comparison: the reported metric is
+// the energy-reduction factor Eug/Eg of each pair of bars.
+func BenchmarkFig5(b *testing.B) {
+	benchFigure(b, func(c power.Comparison) float64 { return c.EnergyRatio }, "energy-ratio")
+}
+
+// BenchmarkFig6 regenerates the average-power comparison: the reported
+// metric is the power-reduction factor of equation (7).
+func BenchmarkFig6(b *testing.B) {
+	benchFigure(b, func(c power.Comparison) float64 { return c.AvgPowerRatio }, "power-ratio")
+}
+
+// BenchmarkFig7 regenerates the W0/Np speed-up sensitivity surface.
+func BenchmarkFig7(b *testing.B) {
+	for _, np := range []int{4, 8, 16} {
+		for _, w0 := range experiments.Fig7W0Values {
+			b.Run(fmt.Sprintf("np%d/W0=%d", np, w0), func(b *testing.B) {
+				// One representative app keeps the sweep tractable; the
+				// experiments binary averages all three.
+				rs := benchSpec(b, stamp.Intruder, np, w0)
+				var cmp power.Comparison
+				for i := 0; i < b.N; i++ {
+					out, err := core.RunPair(rs)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cmp = out.Comparison
+				}
+				b.ReportMetric(cmp.SpeedUp, "speedup")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationPolicies compares the paper's gating-aware window
+// policy against conventional back-off policies driving the same gating
+// hardware (paper §VI: plain exponential back-off "does incur significant
+// performance penalty for highly contentious applications").
+func BenchmarkAblationPolicies(b *testing.B) {
+	for _, pk := range []config.PolicyKind{
+		config.PolicyGatingAware, config.PolicyExponential,
+		config.PolicyLinear, config.PolicyFixed,
+	} {
+		b.Run(string(pk), func(b *testing.B) {
+			rs := benchSpec(b, stamp.Intruder, 16, 0)
+			rs.Configure = func(c *config.Config) { c.Gating.Policy = pk }
+			var cmp power.Comparison
+			for i := 0; i < b.N; i++ {
+				out, err := core.RunPair(rs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cmp = out.Comparison
+			}
+			b.ReportMetric(cmp.SpeedUp, "speedup")
+			b.ReportMetric(cmp.EnergyRatio, "energy-ratio")
+		})
+	}
+}
+
+// BenchmarkAblationRenewal measures the renewal mechanism's contribution:
+// with renewal disabled the directory un-gates blindly at timer expiry.
+func BenchmarkAblationRenewal(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		name := "renewal-on"
+		if disable {
+			name = "renewal-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			rs := benchSpec(b, stamp.Yada, 16, 0)
+			rs.Configure = func(c *config.Config) { c.Gating.DisableRenewal = disable }
+			var cmp power.Comparison
+			var renewals uint64
+			for i := 0; i < b.N; i++ {
+				out, err := core.RunPair(rs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cmp = out.Comparison
+				renewals = out.Gated.Counters.Renewals
+			}
+			b.ReportMetric(cmp.EnergyRatio, "energy-ratio")
+			b.ReportMetric(float64(renewals), "renewals")
+		})
+	}
+}
+
+// BenchmarkAblationSRPG prices the same pair of runs under state-retention
+// power gating (paper §IV: leakage could be gated too) at several retained
+// leakage fractions.
+func BenchmarkAblationSRPG(b *testing.B) {
+	rs := benchSpec(b, stamp.Intruder, 16, 0)
+	out, err := core.RunPair(rs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, keep := range []float64{1.0, 0.5, 0.25, 0.1} {
+		b.Run(fmt.Sprintf("retain%.0f%%", keep*100), func(b *testing.B) {
+			var cmp power.Comparison
+			for i := 0; i < b.N; i++ {
+				m := power.Default().WithSRPG(keep)
+				cmp = power.Compare(m, out.Ungated.Ledger, out.Gated.Ledger)
+			}
+			b.ReportMetric(cmp.EnergyRatio, "energy-ratio")
+		})
+	}
+}
+
+// BenchmarkAblationW0 sweeps the firmware constant the paper says must be
+// preset per system size.
+func BenchmarkAblationW0(b *testing.B) {
+	for _, w0 := range []sim.Time{2, 8, 32, 128} {
+		b.Run(fmt.Sprintf("W0=%d", w0), func(b *testing.B) {
+			rs := benchSpec(b, stamp.Genome, 16, w0)
+			var cmp power.Comparison
+			for i := 0; i < b.N; i++ {
+				out, err := core.RunPair(rs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cmp = out.Comparison
+			}
+			b.ReportMetric(cmp.SpeedUp, "speedup")
+			b.ReportMetric(cmp.EnergyRatio, "energy-ratio")
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput tracks raw simulator performance: events
+// per second on a mid-size gated run. This is the number to watch when
+// optimizing the engine.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	rs := benchSpec(b, stamp.Genome, 8, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunOne(rs, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

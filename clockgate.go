@@ -1,0 +1,220 @@
+// Package clockgate is a simulator-backed reproduction of "Clock Gate on
+// Abort: Towards Energy-Efficient Hardware Transactional Memory" (Sanyal,
+// Roy, Cristal, Unsal, Valero — IPDPS 2009).
+//
+// The paper proposes clock-gating a processor whenever its transaction is
+// aborted in a Scalable-TCC hardware transactional memory, with a
+// directory-resident table deciding when to un-gate or renew the gating
+// period, and a gating-aware contention-management policy
+//
+//	Wt = W0 * (2^ceil(lg Na) + 2^ceil(lg Nr))
+//
+// sizing the window from the per-directory abort (Na) and renew (Nr)
+// counters. This package is the stable public API over the full machine
+// model in internal/: discrete-event engine, L1 caches with speculative
+// RW bits, split-transaction bus, TID vendor, directories with the gating
+// table, the Alpha-21264-in-65nm power model, and synthetic STAMP
+// workload generators.
+//
+// The one-call entry point mirrors the paper's methodology — the same
+// workload trace is executed with and without the mechanism and compared
+// with the §IV energy model:
+//
+//	out, err := clockgate.Run(clockgate.Experiment{
+//		App:        clockgate.Intruder,
+//		Processors: 16,
+//		Seed:       42,
+//	})
+//	fmt.Println(out.SpeedUp(), out.EnergyReductionFactor())
+package clockgate
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/stamp"
+	"repro/internal/tcc"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// App names a built-in synthetic workload preset.
+type App = stamp.App
+
+// The workload presets evaluated in the paper.
+const (
+	Genome   = stamp.Genome
+	Yada     = stamp.Yada
+	Intruder = stamp.Intruder
+)
+
+// Extension presets beyond the paper's evaluation.
+const (
+	Bayes     = stamp.Bayes
+	KMeans    = stamp.KMeans
+	Labyrinth = stamp.Labyrinth
+	SSCA2     = stamp.SSCA2
+	Vacation  = stamp.Vacation
+)
+
+// PaperApps returns the presets used in the paper's evaluation.
+func PaperApps() []App { return stamp.PaperApps() }
+
+// AllApps returns every built-in preset.
+func AllApps() []App { return stamp.AllApps() }
+
+// WorkloadSpec re-exports the synthetic workload generator parameters, for
+// callers that want custom workloads instead of the presets.
+type WorkloadSpec = workload.Spec
+
+// Trace re-exports the workload trace type.
+type Trace = workload.Trace
+
+// Config re-exports the full machine + gating configuration.
+type Config = config.Config
+
+// DefaultConfig returns the paper's Table II machine for the given core
+// count, gating disabled.
+func DefaultConfig(processors int) Config { return config.Default(processors) }
+
+// PowerModel re-exports the Table I power model.
+type PowerModel = power.Model
+
+// DefaultPowerModel returns the paper's Table I factors (Run 1.0,
+// Miss 0.32, Commit 0.44, Gated 0.20).
+func DefaultPowerModel() PowerModel { return power.Default() }
+
+// Experiment describes one paired (ungated vs gated) run.
+type Experiment struct {
+	// App selects a built-in preset. Ignored when Trace is set.
+	App App
+	// Trace supplies a custom workload; it must have Processors threads.
+	Trace *Trace
+	// Processors is the core count (the paper sweeps 4, 8, 16).
+	Processors int
+	// W0 is the contention-management window constant; 0 means the
+	// paper's default of 8.
+	W0 int64
+	// Seed drives deterministic workload generation.
+	Seed uint64
+	// Configure optionally edits the machine configuration of both runs.
+	Configure func(*Config)
+}
+
+// Result is the outcome of a paired experiment.
+type Result struct {
+	// Ungated and Gated are the raw per-run results.
+	Ungated, Gated *RunResult
+	cmp            power.Comparison
+}
+
+// RunResult re-exports the single-run result type.
+type RunResult = tcc.Result
+
+// SpeedUp returns N1/N2: above 1 means gating made the run faster.
+func (r *Result) SpeedUp() float64 { return r.cmp.SpeedUp }
+
+// EnergyReductionFactor returns Eug/Eg, the paper's equation (6): above 1
+// means gating saved energy.
+func (r *Result) EnergyReductionFactor() float64 { return r.cmp.EnergyRatio }
+
+// EnergySavings returns 1 - Eg/Eug as a fraction.
+func (r *Result) EnergySavings() float64 { return r.cmp.EnergySavings }
+
+// PowerReductionFactor returns (Eug/Eg)*(N2/N1), equation (7).
+func (r *Result) PowerReductionFactor() float64 { return r.cmp.AvgPowerRatio }
+
+// Cycles returns the parallel execution times (N1 ungated, N2 gated).
+func (r *Result) Cycles() (n1, n2 int64) { return int64(r.cmp.N1), int64(r.cmp.N2) }
+
+// Energy returns total energy (Eug ungated, Eg gated) in
+// run-power-cycle units.
+func (r *Result) Energy() (eug, eg float64) { return r.cmp.Eug, r.cmp.Eg }
+
+// Comparison returns the full §IV metric set.
+func (r *Result) Comparison() power.Comparison { return r.cmp }
+
+// Run executes the experiment: the identical trace simulated without and
+// with the clock-gating protocol, compared under the Table I power model.
+func Run(e Experiment) (*Result, error) {
+	if e.Processors <= 0 {
+		return nil, fmt.Errorf("clockgate: processors %d must be positive", e.Processors)
+	}
+	out, err := core.RunPair(core.RunSpec{
+		App:        e.App,
+		Trace:      e.Trace,
+		Processors: e.Processors,
+		W0:         sim.Time(e.W0),
+		Seed:       e.Seed,
+		Configure:  e.Configure,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Ungated: out.Ungated, Gated: out.Gated, cmp: out.Comparison}, nil
+}
+
+// RunSingle executes one configuration only (gated selects the protocol).
+// Most callers want Run; RunSingle exists for studies that only need one
+// side, such as baseline characterization.
+func RunSingle(e Experiment, gated bool) (*RunResult, error) {
+	if e.Processors <= 0 {
+		return nil, fmt.Errorf("clockgate: processors %d must be positive", e.Processors)
+	}
+	return core.RunOne(core.RunSpec{
+		App:        e.App,
+		Trace:      e.Trace,
+		Processors: e.Processors,
+		W0:         sim.Time(e.W0),
+		Seed:       e.Seed,
+		Configure:  e.Configure,
+	}, gated)
+}
+
+// GenerateTrace builds the deterministic workload trace a preset would use
+// at the given thread count and seed, for inspection or mutation.
+func GenerateTrace(app App, threads int, seed uint64) (*Trace, error) {
+	return stamp.Generate(app, threads, seed)
+}
+
+// EventRecorder captures structured protocol events (commits, aborts,
+// gatings, renewals, wake-ups) from a run.
+type EventRecorder = trace.Recorder
+
+// Event is one recorded protocol event.
+type Event = trace.Event
+
+// Protocol event kinds, re-exported for filtering.
+const (
+	EvTxBegin         = trace.EvTxBegin
+	EvCommit          = trace.EvCommit
+	EvAbort           = trace.EvAbort
+	EvValidationAbort = trace.EvValidationAbort
+	EvGate            = trace.EvGate
+	EvRenew           = trace.EvRenew
+	EvUngate          = trace.EvUngate
+	EvSelfAbort       = trace.EvSelfAbort
+	EvInvalidate      = trace.EvInvalidate
+)
+
+// NewEventRecorder returns an empty recorder for RunSingleWithEvents.
+func NewEventRecorder() *EventRecorder { return trace.NewRecorder() }
+
+// RunSingleWithEvents executes one configuration with a protocol event
+// recorder attached.
+func RunSingleWithEvents(e Experiment, gated bool, rec *EventRecorder) (*RunResult, error) {
+	if e.Processors <= 0 {
+		return nil, fmt.Errorf("clockgate: processors %d must be positive", e.Processors)
+	}
+	return core.RunOneRecorded(core.RunSpec{
+		App:        e.App,
+		Trace:      e.Trace,
+		Processors: e.Processors,
+		W0:         sim.Time(e.W0),
+		Seed:       e.Seed,
+		Configure:  e.Configure,
+	}, gated, rec)
+}

@@ -1,0 +1,143 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section.
+//
+// Usage:
+//
+//	experiments -all               # everything (Tables I-II, Figures 3-7, summary)
+//	experiments -table1 -fig5      # selected artifacts
+//	experiments -all -scale 0.25   # quick quarter-size campaign
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		all      = flag.Bool("all", false, "regenerate everything")
+		table1   = flag.Bool("table1", false, "Table I: power model")
+		table2   = flag.Bool("table2", false, "Table II: simulation parameters")
+		fig3     = flag.Bool("fig3", false, "Figure 3: TCC data cache power")
+		fig4     = flag.Bool("fig4", false, "Figure 4: parallel execution time")
+		fig5     = flag.Bool("fig5", false, "Figure 5: energy consumption")
+		fig6     = flag.Bool("fig6", false, "Figure 6: average power dissipation")
+		fig7     = flag.Bool("fig7", false, "Figure 7: speed-up vs W0 and Np")
+		summary  = flag.Bool("summary", false, "headline summary vs the paper")
+		detail   = flag.Bool("detail", false, "per-configuration detail table")
+		ablation = flag.Bool("ablations", false, "policy / renewal / SRPG ablation tables")
+		extended = flag.Bool("extended", false, "run the five extension presets too")
+		seeds    = flag.Int("seeds", 0, "re-run the campaign across N seeds and report spread")
+		csvPath  = flag.String("csv", "", "also write per-configuration results to this CSV file")
+		seed     = flag.Uint64("seed", 42, "workload generation seed")
+		scale    = flag.Float64("scale", 1.0, "workload size multiplier")
+	)
+	flag.Parse()
+
+	if *all {
+		*table1, *table2, *fig3, *fig4, *fig5, *fig6, *fig7 = true, true, true, true, true, true, true
+		*summary, *detail = true, true
+	}
+	if !(*table1 || *table2 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 ||
+		*summary || *detail || *ablation || *extended || *seeds > 0 || *csvPath != "") {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := experiments.DefaultOptions()
+	opts.Seed = *seed
+	opts.Scale = *scale
+
+	if *table1 {
+		fmt.Println(experiments.TableI())
+	}
+	if *table2 {
+		fmt.Println(experiments.TableII())
+	}
+	if *fig3 {
+		fmt.Println(experiments.Fig3())
+	}
+
+	needsCampaign := *fig4 || *fig5 || *fig6 || *summary || *detail || *csvPath != ""
+	if needsCampaign {
+		campaign, err := experiments.Run(opts)
+		if err != nil {
+			fatal(err)
+		}
+		if *fig4 {
+			fmt.Println(campaign.Fig4())
+		}
+		if *fig5 {
+			fmt.Println(campaign.Fig5())
+		}
+		if *fig6 {
+			fmt.Println(campaign.Fig6())
+		}
+		if *detail {
+			fmt.Println(campaign.DetailTable())
+		}
+		if *summary {
+			fmt.Println(campaign.SummaryText())
+		}
+		if *csvPath != "" {
+			f, err := os.Create(*csvPath)
+			if err != nil {
+				fatal(err)
+			}
+			if err := campaign.WriteCSV(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *csvPath)
+		}
+	}
+
+	if *fig7 {
+		out, err := experiments.Fig7(opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out)
+	}
+
+	if *ablation {
+		out, err := experiments.Ablations(opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out)
+	}
+
+	if *extended {
+		campaign, err := experiments.Extended(opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Extension presets (beyond the paper's evaluation):")
+		fmt.Println(campaign.DetailTable())
+		fmt.Println(campaign.SummaryText())
+	}
+
+	if *seeds > 0 {
+		list := make([]uint64, *seeds)
+		for i := range list {
+			list[i] = *seed + uint64(i)
+		}
+		ms, err := experiments.MultiSeed(opts, list)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(ms.Render())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+// Command powermodel prints the Alpha 21264 @ 65 nm power model (paper
+// Table I), its derivation from the component breakdown, and the TCC
+// data-cache power curves of Figure 3.
+//
+// Usage:
+//
+//	powermodel                 # Table I + derivation
+//	powermodel -fig3           # also print the Figure 3 curves
+//	powermodel -leakage 0.3    # what-if: different leakage share
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/cacti"
+	"repro/internal/experiments"
+	"repro/internal/power"
+)
+
+func main() {
+	var (
+		fig3     = flag.Bool("fig3", false, "print the Figure 3 cache power curves")
+		leakage  = flag.Float64("leakage", 0.20, "leakage share of total power")
+		tccxf    = flag.Float64("tccfactor", 1.5, "TCC data cache power multiplier")
+		missAct  = flag.Float64("missactivity", 0.5, "cache activity during a miss relative to a hit")
+		showSRPG = flag.Bool("srpg", false, "show state-retention power gating variants")
+	)
+	flag.Parse()
+
+	b := power.DefaultBreakdown()
+	b.Leakage = *leakage
+	b.TCCCacheFactor = *tccxf
+	b.MissActivity = *missAct
+	m := power.Derive(b)
+
+	fmt.Println(experiments.TableI())
+	fmt.Println("Derivation with current flags:")
+	fmt.Printf("  Commit = %.2f + %.2f*(%.3f + %.2f + %.2f) = %.3f\n",
+		b.Leakage, 1-b.Leakage, b.DataCache*b.TCCCacheFactor, b.IO, b.CacheIOClock, m.Commit)
+	fmt.Printf("  Miss   = %.2f + %.2f*%.2f*(%.3f + %.2f + %.2f) = %.3f\n",
+		b.Leakage, 1-b.Leakage, b.MissActivity, b.DataCache*b.TCCCacheFactor, b.IO, b.CacheIOClock, m.Miss)
+	fmt.Printf("  Gated  = leakage = %.3f\n", m.Gated)
+
+	if *showSRPG {
+		fmt.Println("\nState-retention power gating (paper §IV: leakage could be gated too):")
+		for _, keep := range []float64{1.0, 0.5, 0.25, 0.1} {
+			fmt.Printf("  retain %.0f%% leakage -> gated factor %.3f\n", keep*100, m.WithSRPG(keep).Gated)
+		}
+	}
+
+	if *fig3 {
+		fmt.Println()
+		fmt.Println(experiments.Fig3())
+		cfg := cacti.DefaultConfig()
+		fmt.Println("Anchor points:")
+		fmt.Printf("  64KB @ 2B word tracking: +%.1f%% (paper: limited to 5%%)\n",
+			cfg.RWBitPower(2, 64)-cacti.BasePower)
+		fmt.Printf("  full TCC cache factor:   %.2fx (paper: conservatively 1.5x)\n",
+			cfg.TCCFactor(2, 64))
+	}
+}

@@ -1,0 +1,66 @@
+// Contention study: how the benefit of clock-gate-on-abort scales with
+// conflict intensity.
+//
+// A custom synthetic workload is generated at several contention levels by
+// shrinking the shared hot region (the fewer hot lines, the more often
+// transactions collide). For each level the example reports abort rates,
+// gating activity and the paper's energy/speed-up metrics — reproducing
+// the paper's observation that "for highly-conflicting applications ...
+// savings in the energy is also reasonable" while low-conflict runs stay
+// near the baseline.
+//
+//	go run ./examples/contention
+package main
+
+import (
+	"fmt"
+	"log"
+
+	clockgate "repro"
+)
+
+func main() {
+	const procs = 8
+
+	fmt.Println("contention sweep (8 cores, custom workload, shrinking hot region)")
+	fmt.Printf("%-10s %-12s %-12s %-10s %-10s %-10s\n",
+		"hot lines", "aborts/cmt", "gatings", "renewals", "speed-up", "E-ratio")
+
+	for _, hot := range []int{512, 128, 32, 8} {
+		spec := clockgate.WorkloadSpec{
+			Name:         fmt.Sprintf("hot%d", hot),
+			TotalTxs:     3200,
+			MeanTxOps:    16,
+			TxOpsJitter:  0.4,
+			WriteFrac:    0.4,
+			HotLines:     hot,
+			HotFrac:      0.6,
+			ZipfSkew:     0.9,
+			PrivateLines: 256,
+			ComputeMean:  4,
+			InterTxMean:  20,
+			TxTypes:      3,
+		}
+		trace, err := spec.Generate(procs, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := clockgate.Run(clockgate.Experiment{
+			Trace:      trace,
+			Processors: procs,
+			Seed:       7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ug := out.Ungated.Counters
+		g := out.Gated.Counters
+		fmt.Printf("%-10d %-12.2f %-12d %-10d %-10.3f %-10.3f\n",
+			hot,
+			float64(ug.Aborts)/float64(ug.Commits),
+			g.Gatings, g.Renewals,
+			out.SpeedUp(), out.EnergyReductionFactor())
+	}
+
+	fmt.Println("\nhigher contention (smaller hot set) -> more aborts -> more gating benefit")
+}

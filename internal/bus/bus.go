@@ -1,0 +1,77 @@
+// Package bus models the interconnect of the baseline system: a common
+// split-transaction bus (paper Table II). A split-transaction bus separates
+// the request from the reply, so the bus is held only for the cycles a
+// message occupies the wires, not for the whole memory round-trip.
+//
+// The model is a single shared resource with FIFO arbitration: each message
+// reserves the earliest free slot of `occupancy` cycles at or after its
+// issue time, and the deliver callback fires when the slot ends. Latency
+// therefore grows under contention exactly the way a real shared bus
+// serializes traffic.
+package bus
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Stats counts bus activity.
+type Stats struct {
+	Messages   uint64
+	BusyCycles uint64
+	// WaitCycles accumulates queueing delay (time between issue and the
+	// start of the reserved slot) across all messages.
+	WaitCycles uint64
+}
+
+// Bus is a split-transaction bus. All methods must be called from engine
+// event context (the simulator is single-goroutine by design).
+type Bus struct {
+	eng       *sim.Engine
+	occupancy sim.Time // cycles one message holds the bus
+	nextFree  sim.Time // first cycle the bus is free
+	stats     Stats
+}
+
+// New builds a bus on the engine. occupancy is the per-message bus-hold
+// time in cycles and must be positive.
+func New(eng *sim.Engine, occupancy sim.Time) *Bus {
+	if occupancy <= 0 {
+		panic(fmt.Sprintf("bus: occupancy %d must be positive", occupancy))
+	}
+	return &Bus{eng: eng, occupancy: occupancy}
+}
+
+// Occupancy returns the per-message hold time.
+func (b *Bus) Occupancy() sim.Time { return b.occupancy }
+
+// Stats returns a copy of the activity counters.
+func (b *Bus) Stats() Stats { return b.stats }
+
+// Send transmits a message: deliver runs when the message has crossed the
+// bus. Returns the delivery time.
+func (b *Bus) Send(deliver func()) sim.Time {
+	now := b.eng.Now()
+	start := now
+	if b.nextFree > start {
+		start = b.nextFree
+	}
+	b.stats.Messages++
+	b.stats.WaitCycles += uint64(start - now)
+	b.stats.BusyCycles += uint64(b.occupancy)
+	end := start + b.occupancy
+	b.nextFree = end
+	b.eng.Schedule(end, deliver)
+	return end
+}
+
+// Utilization returns busy-cycles / elapsed-cycles at the current time.
+// Returns 0 before any time has elapsed.
+func (b *Bus) Utilization() float64 {
+	now := b.eng.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(b.stats.BusyCycles) / float64(now)
+}

@@ -1,0 +1,122 @@
+package bus
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSingleMessageLatency(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, 4)
+	var delivered sim.Time = -1
+	b.Send(func() { delivered = eng.Now() })
+	eng.Run()
+	if delivered != 4 {
+		t.Fatalf("delivered at %d, want 4", delivered)
+	}
+}
+
+func TestBackToBackMessagesSerialize(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, 4)
+	var times []sim.Time
+	for i := 0; i < 3; i++ {
+		b.Send(func() { times = append(times, eng.Now()) })
+	}
+	eng.Run()
+	want := []sim.Time{4, 8, 12}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("deliveries %v, want %v", times, want)
+		}
+	}
+}
+
+func TestBusFreesUpOverTime(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, 4)
+	var second sim.Time
+	b.Send(func() {})
+	// Issue the second message long after the first finished: no queueing.
+	eng.Schedule(100, func() {
+		b.Send(func() { second = eng.Now() })
+	})
+	eng.Run()
+	if second != 104 {
+		t.Fatalf("second delivered at %d, want 104", second)
+	}
+	if b.Stats().WaitCycles != 0 {
+		t.Fatalf("unexpected wait cycles %d", b.Stats().WaitCycles)
+	}
+}
+
+func TestWaitCyclesAccumulateUnderContention(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, 10)
+	for i := 0; i < 4; i++ {
+		b.Send(func() {})
+	}
+	eng.Run()
+	st := b.Stats()
+	if st.Messages != 4 {
+		t.Fatalf("messages %d", st.Messages)
+	}
+	// Queueing delays: 0 + 10 + 20 + 30.
+	if st.WaitCycles != 60 {
+		t.Fatalf("wait cycles %d, want 60", st.WaitCycles)
+	}
+	if st.BusyCycles != 40 {
+		t.Fatalf("busy cycles %d, want 40", st.BusyCycles)
+	}
+}
+
+func TestSendReturnsDeliveryTime(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, 5)
+	if got := b.Send(func() {}); got != 5 {
+		t.Fatalf("first Send returned %d, want 5", got)
+	}
+	if got := b.Send(func() {}); got != 10 {
+		t.Fatalf("second Send returned %d, want 10", got)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, 4)
+	if b.Utilization() != 0 {
+		t.Fatal("utilization non-zero at t=0")
+	}
+	b.Send(func() {})
+	eng.Schedule(8, func() {})
+	eng.Run()
+	// 4 busy cycles over 8 elapsed.
+	if got := b.Utilization(); got != 0.5 {
+		t.Fatalf("utilization %f, want 0.5", got)
+	}
+}
+
+func TestZeroOccupancyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with occupancy 0 did not panic")
+		}
+	}()
+	New(sim.NewEngine(), 0)
+}
+
+func TestInterleavedSendsKeepFIFO(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, 3)
+	var order []int
+	// Sender A at t=0, sender B at t=1: A's message must deliver first.
+	b.Send(func() { order = append(order, 0) })
+	eng.Schedule(1, func() {
+		b.Send(func() { order = append(order, 1) })
+	})
+	eng.Run()
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Fatalf("order %v", order)
+	}
+}

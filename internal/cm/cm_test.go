@@ -1,0 +1,137 @@
+package cm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestCeilLog2Term(t *testing.T) {
+	cases := []struct {
+		n    int
+		want int64
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {7, 8}, {8, 8},
+		{9, 16}, {16, 16}, {17, 32}, {255, 256}, {256, 256}, {257, 512},
+	}
+	for _, c := range cases {
+		if got := ceilLog2Term(c.n); got != c.want {
+			t.Errorf("ceilLog2Term(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestGatingAwareEquation8(t *testing.T) {
+	// Wt = W0 * (2^ceil(lg Na) + 2^ceil(lg Nr)) with W0 = 8.
+	p := GatingAware{W0: 8}
+	cases := []struct {
+		na, nr int
+		want   sim.Time
+	}{
+		{1, 0, 8},        // 8*(1+0)
+		{1, 1, 16},       // 8*(1+1)
+		{1, 2, 24},       // 8*(1+2)
+		{2, 0, 16},       // 8*(2+0)
+		{3, 0, 32},       // 8*(4+0)
+		{3, 3, 64},       // 8*(4+4)
+		{255, 0, 2048},   // 8*256 — saturated abort counter
+		{255, 255, 4096}, // both saturated
+	}
+	for _, c := range cases {
+		if got := p.Window(c.na, c.nr); got != c.want {
+			t.Errorf("Window(%d,%d) = %d, want %d", c.na, c.nr, got, c.want)
+		}
+	}
+}
+
+func TestGatingAwareStaircase(t *testing.T) {
+	// The window must be constant between powers of two (the paper's
+	// staircase with exponentially spaced discontinuities).
+	p := GatingAware{W0: 8}
+	if p.Window(5, 0) != p.Window(6, 0) || p.Window(6, 0) != p.Window(8, 0) {
+		t.Error("window not flat inside a staircase step")
+	}
+	if p.Window(8, 0) >= p.Window(9, 0) {
+		t.Error("window did not jump at the power-of-two boundary")
+	}
+}
+
+func TestGatingAwarePanicsOnZeroW0(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero W0 did not panic")
+		}
+	}()
+	GatingAware{}.Window(1, 0)
+}
+
+func TestExponentialBackoff(t *testing.T) {
+	p := ExponentialBackoff{Base: 10, Max: 100}
+	cases := []struct {
+		na   int
+		want sim.Time
+	}{{0, 10}, {1, 10}, {2, 20}, {3, 40}, {4, 80}, {5, 100}, {50, 100}}
+	for _, c := range cases {
+		if got := p.Window(c.na, 99); got != c.want {
+			t.Errorf("exp Window(%d) = %d, want %d", c.na, got, c.want)
+		}
+	}
+}
+
+func TestExponentialBackoffNoOverflow(t *testing.T) {
+	p := ExponentialBackoff{Base: 1}
+	if w := p.Window(1000, 0); w <= 0 {
+		t.Fatalf("huge abort count overflowed: %d", w)
+	}
+}
+
+func TestLinearBackoff(t *testing.T) {
+	p := LinearBackoff{Step: 5, Max: 18}
+	cases := []struct {
+		na   int
+		want sim.Time
+	}{{0, 5}, {1, 5}, {2, 10}, {3, 15}, {4, 18}, {100, 18}}
+	for _, c := range cases {
+		if got := p.Window(c.na, 0); got != c.want {
+			t.Errorf("linear Window(%d) = %d, want %d", c.na, got, c.want)
+		}
+	}
+}
+
+func TestNonePolicy(t *testing.T) {
+	if (None{}).Window(100, 100) != 0 {
+		t.Error("None policy backs off")
+	}
+}
+
+func TestNames(t *testing.T) {
+	for _, p := range []Policy{
+		GatingAware{W0: 8},
+		ExponentialBackoff{Base: 2, Max: 64},
+		LinearBackoff{Step: 4, Max: 32},
+		None{},
+	} {
+		if p.Name() == "" {
+			t.Errorf("%T has empty name", p)
+		}
+	}
+}
+
+// Property: the gating-aware window is monotonically non-decreasing in
+// both counters and always positive for Na >= 1.
+func TestQuickGatingAwareMonotone(t *testing.T) {
+	p := GatingAware{W0: 8}
+	f := func(naRaw, nrRaw uint8) bool {
+		na := int(naRaw%64) + 1
+		nr := int(nrRaw % 64)
+		w := p.Window(na, nr)
+		if w <= 0 {
+			return false
+		}
+		return p.Window(na+1, nr) >= w && p.Window(na, nr+1) >= w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

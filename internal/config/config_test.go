@@ -1,0 +1,107 @@
+package config
+
+import "testing"
+
+func TestDefaultMatchesTableII(t *testing.T) {
+	c := Default(16)
+	m := c.Machine
+	if m.Processors != 16 {
+		t.Errorf("processors %d", m.Processors)
+	}
+	if m.L1SizeBytes != 64<<10 {
+		t.Errorf("L1 size %d, want 64KB", m.L1SizeBytes)
+	}
+	if m.L1LineBytes != 64 {
+		t.Errorf("line size %d, want 64", m.L1LineBytes)
+	}
+	if m.L1Ways != 2 {
+		t.Errorf("ways %d, want 2", m.L1Ways)
+	}
+	if m.L1HitCycles != 1 {
+		t.Errorf("L1 latency %d, want 1", m.L1HitCycles)
+	}
+	if m.DirectoryCycles != 10 {
+		t.Errorf("directory latency %d, want 10", m.DirectoryCycles)
+	}
+	if m.MemoryCycles != 100 {
+		t.Errorf("memory latency %d, want 100", m.MemoryCycles)
+	}
+	if m.MemoryBytes != 1<<30 {
+		t.Errorf("memory size %d, want 1GB", m.MemoryBytes)
+	}
+	if c.Gating.Enabled {
+		t.Error("gating enabled by default")
+	}
+	if c.Gating.W0 != 8 {
+		t.Errorf("W0 %d, want the paper's 8", c.Gating.W0)
+	}
+	if c.Gating.AbortCounterBits != 8 {
+		t.Errorf("abort counter bits %d, want 8", c.Gating.AbortCounterBits)
+	}
+}
+
+func TestDefaultValidates(t *testing.T) {
+	for _, np := range []int{1, 2, 4, 8, 16} {
+		if err := Default(np).Validate(); err != nil {
+			t.Errorf("Default(%d) invalid: %v", np, err)
+		}
+		if err := Default(np).WithGating(0).Validate(); err != nil {
+			t.Errorf("Default(%d) gated invalid: %v", np, err)
+		}
+	}
+}
+
+func TestWithGating(t *testing.T) {
+	c := Default(4).WithGating(32)
+	if !c.Gating.Enabled {
+		t.Fatal("WithGating did not enable")
+	}
+	if c.Gating.W0 != 32 {
+		t.Fatalf("W0 %d, want 32", c.Gating.W0)
+	}
+	// Zero keeps the default.
+	c2 := Default(4).WithGating(0)
+	if c2.Gating.W0 != 8 {
+		t.Fatalf("W0 %d, want untouched 8", c2.Gating.W0)
+	}
+}
+
+func TestWithGatingDoesNotMutateReceiver(t *testing.T) {
+	c := Default(4)
+	_ = c.WithGating(99)
+	if c.Gating.Enabled {
+		t.Fatal("WithGating mutated its receiver")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []struct {
+		name string
+		edit func(*Config)
+	}{
+		{"zero processors", func(c *Config) { c.Machine.Processors = 0 }},
+		{"zero directories", func(c *Config) { c.Machine.Directories = 0 }},
+		{"line not power of two", func(c *Config) { c.Machine.L1LineBytes = 48 }},
+		{"bad L1 size", func(c *Config) { c.Machine.L1SizeBytes = 1000 }},
+		{"zero hit latency", func(c *Config) { c.Machine.L1HitCycles = 0 }},
+		{"zero bus", func(c *Config) { c.Machine.BusCycles = 0 }},
+		{"zero directory latency", func(c *Config) { c.Machine.DirectoryCycles = 0 }},
+		{"zero memory latency", func(c *Config) { c.Machine.MemoryCycles = 0 }},
+		{"zero commit cost", func(c *Config) { c.Machine.CommitLineCycles = 0 }},
+		{"zero token cost", func(c *Config) { c.Machine.TokenCycles = 0 }},
+		{"memory not line multiple", func(c *Config) { c.Machine.MemoryBytes = 1000 }},
+		{"gated zero W0", func(c *Config) { c.Gating.Enabled = true; c.Gating.W0 = 0 }},
+		{"gated bad abort bits", func(c *Config) { c.Gating.Enabled = true; c.Gating.AbortCounterBits = 0 }},
+		{"gated bad renew bits", func(c *Config) { c.Gating.Enabled = true; c.Gating.RenewCounterBits = 64 }},
+		{"gated negative wakeup", func(c *Config) { c.Gating.Enabled = true; c.Gating.WakeupCycles = -1 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := Default(4)
+			c.edit(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Fatalf("%s passed validation", c.name)
+			}
+		})
+	}
+}

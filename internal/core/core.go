@@ -1,0 +1,126 @@
+// Package core is the high-level experiment runner: it ties workload
+// generation, the simulated machine, and the power model into the
+// paired-run methodology of the paper — the same trace executed once
+// without and once with clock gating, compared by the §IV metrics.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/stamp"
+	"repro/internal/tcc"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// RunSpec names one experiment: a workload on a machine size.
+type RunSpec struct {
+	// App is the STAMP preset to run. Ignored if Trace is set.
+	App stamp.App
+	// Trace optionally supplies a pre-built workload (overrides App).
+	Trace *workload.Trace
+	// Processors is the core count (the paper uses 4, 8, 16).
+	Processors int
+	// W0 is the gating window constant (0 means the default, 8).
+	W0 sim.Time
+	// Seed drives workload generation.
+	Seed uint64
+	// Model is the power model; the zero value selects the paper's
+	// Table I model.
+	Model power.Model
+	// Configure, if non-nil, edits the machine configuration before each
+	// run (applied to both the gated and ungated run).
+	Configure func(*config.Config)
+}
+
+func (rs RunSpec) model() power.Model {
+	if rs.Model == (power.Model{}) {
+		return power.Default()
+	}
+	return rs.Model
+}
+
+func (rs RunSpec) trace() (*workload.Trace, error) {
+	if rs.Trace != nil {
+		return rs.Trace, nil
+	}
+	return stamp.Generate(rs.App, rs.Processors, rs.Seed)
+}
+
+func (rs RunSpec) config(gated bool) config.Config {
+	cfg := config.Default(rs.Processors)
+	if gated {
+		cfg = cfg.WithGating(rs.W0)
+	}
+	cfg.Seed = rs.Seed
+	if rs.Configure != nil {
+		rs.Configure(&cfg)
+	}
+	return cfg
+}
+
+// Outcome is the result of one paired (ungated vs gated) experiment.
+type Outcome struct {
+	Spec       RunSpec
+	Ungated    *tcc.Result
+	Gated      *tcc.Result
+	Comparison power.Comparison
+}
+
+// RunOne executes a single configuration (gated or not) of the spec.
+func RunOne(rs RunSpec, gated bool) (*tcc.Result, error) {
+	return RunOneRecorded(rs, gated, nil)
+}
+
+// RunOneRecorded is RunOne with a protocol event recorder attached to the
+// machine (nil records nothing).
+func RunOneRecorded(rs RunSpec, gated bool, rec *trace.Recorder) (*tcc.Result, error) {
+	tr, err := rs.trace()
+	if err != nil {
+		return nil, err
+	}
+	sys, err := tcc.NewSystem(rs.config(gated), tr)
+	if err != nil {
+		return nil, err
+	}
+	if rec != nil {
+		sys.SetRecorder(rec)
+	}
+	return sys.Run()
+}
+
+// RunPair executes the spec twice on the identical trace — ungated
+// baseline and gated — and compares them with the paper's energy model.
+func RunPair(rs RunSpec) (*Outcome, error) {
+	tr, err := rs.trace()
+	if err != nil {
+		return nil, err
+	}
+	rs.Trace = tr // pin the trace so both runs share it exactly
+
+	ungated, err := runWith(rs, false, tr)
+	if err != nil {
+		return nil, fmt.Errorf("core: ungated run: %w", err)
+	}
+	gated, err := runWith(rs, true, tr)
+	if err != nil {
+		return nil, fmt.Errorf("core: gated run: %w", err)
+	}
+	return &Outcome{
+		Spec:       rs,
+		Ungated:    ungated,
+		Gated:      gated,
+		Comparison: power.Compare(rs.model(), ungated.Ledger, gated.Ledger),
+	}, nil
+}
+
+func runWith(rs RunSpec, gated bool, tr *workload.Trace) (*tcc.Result, error) {
+	sys, err := tcc.NewSystem(rs.config(gated), tr)
+	if err != nil {
+		return nil, err
+	}
+	return sys.Run()
+}

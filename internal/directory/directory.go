@@ -1,0 +1,566 @@
+// Package directory models the memory directories of the Scalable-TCC
+// baseline plus the additional per-processor gating table the paper adds
+// (§III, Fig. 1): aborter processor id, aborter transaction id, abort
+// counter, renew counter, gating timer and OFF bit — and the un-gating
+// control circuit of Fig. 2(e).
+//
+// Each directory owns an interleaved slice of physical memory, tracks a
+// full-bit-vector sharer set per line, serializes committers by TID, and
+// (with gating enabled) decides when an aborted processor's clock stops
+// and restarts.
+package directory
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/cm"
+	"repro/internal/config"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tokens"
+	"repro/internal/trace"
+)
+
+// ProcessorPort is the directory's view of a processor. The tcc package's
+// Processor implements it; tests substitute fakes.
+type ProcessorPort interface {
+	// ID returns the processor id.
+	ID() int
+	// DeliverInvalidation handles a coherence invalidation of line sent
+	// by directory dir because aborter committed it. It reports whether
+	// the invalidation aborted the processor's running transaction —
+	// the condition under which the directory gates the victim.
+	DeliverInvalidation(line mem.LineAddr, aborter, dir int) bool
+	// DeliverStopClock freezes the processor's clocks. It reports
+	// whether the processor actually froze (a committing processor
+	// drops the signal; see tcc for the race this resolves).
+	DeliverStopClock(dir int) bool
+	// Gated reports whether the processor's clocks are currently
+	// stopped. Directories use it to distinguish a stale in-flight
+	// request from a genuinely running processor before clearing a
+	// local OFF bit.
+	Gated() bool
+	// DeliverOn restarts the processor's clocks.
+	DeliverOn(dir int)
+	// TxInfo answers a TxInfoReq: the id (start PC) of the transaction
+	// the processor is currently executing. ok=false is the null reply
+	// of a gated or idle processor.
+	TxInfo() (pc uint64, ok bool)
+	// NoteLineCommitted informs the committer of the version its commit
+	// assigned to a line, so its cached copy carries the right snapshot
+	// version (bookkeeping, delivered with the commit acknowledgement).
+	NoteLineCommitted(l mem.LineAddr, version uint64)
+}
+
+// lineState is the coherence state of one line: the last committer
+// (owner), the full bit vector of sharers (bitset form keeps invalidation
+// fan-out deterministic, ascending processor id), and the commit version.
+// The version counts commits of the line; processors record the version
+// they read and the commit-time validation phase compares against it —
+// the mechanism that makes TCC's lazy conflict detection serializable.
+type lineState struct {
+	owner   int
+	sharers uint64
+	version uint64
+	lastTID tokens.TID
+}
+
+// gateEntry is one row of the paper's Fig. 1 table.
+type gateEntry struct {
+	off         bool
+	aborterProc int
+	aborterTx   uint64
+	aborterTxOK bool
+	abortCount  int
+	renewCount  int
+	timer       *sim.Event
+	// episode guards against stale timer and TxInfo-reply events after
+	// the entry has been cleared or re-armed.
+	episode uint64
+}
+
+// Stats counts one directory's activity.
+type Stats struct {
+	// Reads is the number of read-miss requests serviced.
+	Reads uint64
+	// Commits is the number of write-set commits performed here.
+	Commits uint64
+	// LinesCommitted is the total committed line count.
+	LinesCommitted uint64
+	// Gatings, Renewals and Ungates count this directory's gating
+	// decisions (the global counters aggregate across directories).
+	Gatings  uint64
+	Renewals uint64
+	Ungates  uint64
+}
+
+// Directory is one memory directory.
+type Directory struct {
+	id       int
+	eng      *sim.Engine
+	bus      *bus.Bus
+	cfg      config.Machine
+	gcfg     config.Gating
+	policy   cm.Policy
+	procs    []ProcessorPort
+	counters *stats.Counters
+
+	lines       map[mem.LineAddr]*lineState
+	nextFreeDir sim.Time // directory pipeline availability
+	nextFreeMem sim.Time // local memory port availability (single R/W port)
+
+	marked map[int]tokens.TID // commit requests with timestamps, by processor
+	// announced holds the "Marked" bits of Fig. 2(e): Scalable TCC
+	// communicates store addresses to home directories eagerly during
+	// execution, so a processor is "present" in a directory from its
+	// first speculative store homed here until the transaction commits
+	// or aborts — not just while it commits. The renewal check of the
+	// un-gate circuit tests this set.
+	announced map[int]bool
+	writer    int // processor currently committing here, or -1
+
+	gate []gateEntry
+
+	// onCommitDone, if set, runs after every completed commit; the
+	// system uses it to re-evaluate commit grants.
+	onCommitDone func()
+
+	// rec, when non-nil, receives structured protocol events.
+	rec *trace.Recorder
+
+	stats Stats
+}
+
+// New builds directory id. Attach must be called before traffic arrives.
+func New(id int, eng *sim.Engine, b *bus.Bus, cfg config.Machine, gcfg config.Gating, policy cm.Policy, counters *stats.Counters) *Directory {
+	if cfg.Processors > 64 {
+		panic(fmt.Sprintf("directory: %d processors exceed the 64-bit sharer vector", cfg.Processors))
+	}
+	return &Directory{
+		id:        id,
+		eng:       eng,
+		bus:       b,
+		cfg:       cfg,
+		gcfg:      gcfg,
+		policy:    policy,
+		counters:  counters,
+		lines:     make(map[mem.LineAddr]*lineState),
+		marked:    make(map[int]tokens.TID),
+		announced: make(map[int]bool),
+		writer:    -1,
+		gate:      make([]gateEntry, cfg.Processors),
+	}
+}
+
+// Attach wires the processor ports (indexed by processor id).
+func (d *Directory) Attach(procs []ProcessorPort, onCommitDone func()) {
+	d.procs = procs
+	d.onCommitDone = onCommitDone
+}
+
+// SetRecorder attaches an event recorder (nil detaches).
+func (d *Directory) SetRecorder(r *trace.Recorder) { d.rec = r }
+
+// Stats returns a copy of this directory's activity counters.
+func (d *Directory) Stats() Stats { return d.stats }
+
+// ID returns the directory id.
+func (d *Directory) ID() int { return d.id }
+
+func maxTime(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (d *Directory) line(l mem.LineAddr) *lineState {
+	ls, ok := d.lines[l]
+	if !ok {
+		ls = &lineState{owner: -1}
+		d.lines[l] = ls
+	}
+	return ls
+}
+
+// Sharers returns the sharer bit vector of a line (for tests and stats).
+func (d *Directory) Sharers(l mem.LineAddr) uint64 {
+	if ls, ok := d.lines[l]; ok {
+		return ls.sharers
+	}
+	return 0
+}
+
+// Owner returns the owning processor of a line, or -1.
+func (d *Directory) Owner(l mem.LineAddr) int {
+	if ls, ok := d.lines[l]; ok {
+		return ls.owner
+	}
+	return -1
+}
+
+// Version returns the commit version of a line (0 = never committed).
+func (d *Directory) Version(l mem.LineAddr) uint64 {
+	if ls, ok := d.lines[l]; ok {
+		return ls.version
+	}
+	return 0
+}
+
+// LastCommitTID returns the TID of the line's most recent committer.
+func (d *Directory) LastCommitTID(l mem.LineAddr) tokens.TID {
+	if ls, ok := d.lines[l]; ok {
+		return ls.lastTID
+	}
+	return tokens.TIDNone
+}
+
+// HasOlderMark reports whether any processor other than self holds a
+// commit request here with a TID below tid. The commit grant probes every
+// directory of a transaction's read-set with this predicate — Scalable
+// TCC's validation rule that an older committer which might write the
+// read-set must drain first.
+func (d *Directory) HasOlderMark(tid tokens.TID, self int) bool {
+	for p, t := range d.marked {
+		if p != self && t < tid {
+			return true
+		}
+	}
+	return false
+}
+
+// HandleRead services a read-miss request that has arrived at the
+// directory (bus transit already paid by the sender). The reply callback
+// runs at the requesting processor after the data has crossed back over
+// the bus, carrying the commit version of the line the reply data
+// reflects. Directory pipeline and the single memory port both serialize.
+func (d *Directory) HandleRead(proc int, l mem.LineAddr, reply func(version uint64)) {
+	d.stats.Reads++
+	d.noteProcessorAlive(proc)
+	start := maxTime(d.eng.Now(), d.nextFreeDir)
+	dirDone := start + d.cfg.DirectoryCycles
+	d.nextFreeDir = dirDone
+	memStart := maxTime(dirDone, d.nextFreeMem)
+	memDone := memStart + d.cfg.MemoryCycles
+	d.nextFreeMem = memDone
+	d.eng.Schedule(memDone, func() {
+		ls := d.line(l)
+		ls.sharers |= 1 << uint(proc)
+		v := ls.version
+		d.bus.Send(func() { reply(v) })
+	})
+}
+
+// noteProcessorAlive implements the paper's local-knowledge reconciliation:
+// "if any load/store request comes from a processor which is marked as
+// off, directory assumes that it has been turned on by some other
+// directory. Then it resets the OFF bit as well in its local table."
+// A request from a processor that is in fact frozen is stale traffic that
+// was in flight when the clock stopped; clearing the OFF bit for it would
+// orphan the gating timer and freeze the victim forever, so those are
+// ignored.
+func (d *Directory) noteProcessorAlive(proc int) {
+	if !d.gcfg.Enabled {
+		return
+	}
+	g := &d.gate[proc]
+	if g.off && !d.procs[proc].Gated() {
+		d.disarm(g)
+	}
+}
+
+// disarm clears the OFF bit and cancels the timer without sending On.
+func (d *Directory) disarm(g *gateEntry) {
+	g.off = false
+	g.episode++
+	if g.timer != nil {
+		g.timer.Cancel()
+		g.timer = nil
+	}
+}
+
+// AnnounceIntent records an eager store-address announcement: proc has
+// speculative writes homed in this directory. This sets the Fig. 2(e)
+// "Marked" bit for the duration of proc's transaction.
+func (d *Directory) AnnounceIntent(proc int) {
+	d.noteProcessorAlive(proc)
+	d.announced[proc] = true
+}
+
+// WithdrawIntent clears the announcement (the transaction committed or
+// aborted).
+func (d *Directory) WithdrawIntent(proc int) {
+	delete(d.announced, proc)
+}
+
+// Announced reports whether proc has announced speculative writes here.
+func (d *Directory) Announced(proc int) bool { return d.announced[proc] }
+
+// Mark records processor proc's commit request with timestamp tid: the
+// processor has reached its commit instruction and entered the TID queue.
+func (d *Directory) Mark(proc int, tid tokens.TID) {
+	d.noteProcessorAlive(proc)
+	d.marked[proc] = tid
+}
+
+// Unmark withdraws the commit request (the transaction aborted).
+func (d *Directory) Unmark(proc int) {
+	delete(d.marked, proc)
+}
+
+// Marked reports whether proc currently has a commit request here.
+func (d *Directory) Marked(proc int) bool {
+	_, ok := d.marked[proc]
+	return ok
+}
+
+// Head returns the marked processor with the lowest TID, if any. The
+// oldest committer goes first — the Scalable-TCC serialization rule.
+func (d *Directory) Head() (proc int, ok bool) {
+	best := tokens.TID(0)
+	proc = -1
+	for p, t := range d.marked {
+		if proc == -1 || t < best {
+			proc, best = p, t
+		}
+	}
+	return proc, proc != -1
+}
+
+// Busy reports whether a commit is in progress here.
+func (d *Directory) Busy() bool { return d.writer != -1 }
+
+// Writer returns the committing processor, or -1.
+func (d *Directory) Writer() int { return d.writer }
+
+// BeginCommit starts writing proc's speculative lines that live in this
+// directory. The directory is occupied for CommitLineCycles per line; each
+// line's commit sends invalidations to all other sharers; done runs (in
+// directory context, no bus transit) when the last line has committed.
+// The caller must have established that proc is the head committer and
+// the directory is free.
+func (d *Directory) BeginCommit(proc int, lines []mem.LineAddr, done func()) {
+	if d.writer != -1 {
+		panic(fmt.Sprintf("directory %d: BeginCommit(%d) while %d is committing", d.id, proc, d.writer))
+	}
+	if _, ok := d.marked[proc]; !ok {
+		panic(fmt.Sprintf("directory %d: BeginCommit(%d) without mark", d.id, proc))
+	}
+	d.writer = proc
+	d.stats.Commits++
+	d.stats.LinesCommitted += uint64(len(lines))
+	tid := d.marked[proc]
+	start := maxTime(d.eng.Now(), d.nextFreeDir)
+	for i, l := range lines {
+		l := l
+		at := start + sim.Time(i+1)*d.cfg.CommitLineCycles
+		d.eng.Schedule(at, func() { d.commitLine(proc, tid, l) })
+	}
+	end := start + sim.Time(len(lines))*d.cfg.CommitLineCycles
+	if len(lines) == 0 {
+		end = start + d.cfg.DirectoryCycles // validation-only touch
+	}
+	d.nextFreeDir = end
+	d.eng.Schedule(end, func() {
+		d.writer = -1
+		delete(d.marked, proc)
+		done()
+		if d.onCommitDone != nil {
+			d.onCommitDone()
+		}
+	})
+}
+
+// commitLine publishes one line: the version advances, ownership moves to
+// the committer and all other sharers receive invalidations. A sharer
+// that aborts triggers the gating protocol.
+func (d *Directory) commitLine(committer int, tid tokens.TID, l mem.LineAddr) {
+	ls := d.line(l)
+	victims := ls.sharers &^ (1 << uint(committer))
+	ls.owner = committer
+	ls.sharers = 1 << uint(committer)
+	ls.version++
+	ls.lastTID = tid
+	d.procs[committer].NoteLineCommitted(l, ls.version)
+	for v := 0; v < d.cfg.Processors; v++ {
+		if victims&(1<<uint(v)) == 0 {
+			continue
+		}
+		v := v
+		d.counters.Invalidations++
+		d.bus.Send(func() {
+			d.rec.Record(trace.Event{At: d.eng.Now(), Kind: trace.EvInvalidate,
+				Proc: v, Other: committer, Dir: d.id, Line: l})
+			aborted := d.procs[v].DeliverInvalidation(l, committer, d.id)
+			if aborted {
+				d.counters.Aborts++
+				d.rec.Record(trace.Event{At: d.eng.Now(), Kind: trace.EvAbort,
+					Proc: v, Other: committer, Dir: d.id, Line: l})
+				if d.gcfg.Enabled {
+					d.gateVictim(v, committer)
+				}
+			}
+		})
+	}
+}
+
+// OnProcessorCommitted resets the abort bookkeeping for proc: "Abort count
+// field is reset to 0 whenever a thread commits." The system calls this on
+// every directory when a transaction commits, treating the counter as a
+// property of the (now completed) transaction.
+func (d *Directory) OnProcessorCommitted(proc int) {
+	if !d.gcfg.Enabled {
+		return
+	}
+	g := &d.gate[proc]
+	g.abortCount = 0
+	g.renewCount = 0
+}
+
+// Off reports this directory's local view of proc's clock state.
+func (d *Directory) Off(proc int) bool { return d.gate[proc].off }
+
+// AbortCount returns the local abort counter for proc.
+func (d *Directory) AbortCount(proc int) int { return d.gate[proc].abortCount }
+
+// RenewCount returns the local renew counter for proc.
+func (d *Directory) RenewCount(proc int) int { return d.gate[proc].renewCount }
+
+func (d *Directory) satMax(bits int) int { return 1<<uint(bits) - 1 }
+
+// gateVictim runs the abort-side of the protocol (§V, Fig. 2(c)–(d)):
+// log aborter, bump the abort counter, reset the renew counter, arm the
+// timer with the contention-management window, send StopClock to the
+// victim and TxInfoReq to the aborter.
+func (d *Directory) gateVictim(victim, aborter int) {
+	g := &d.gate[victim]
+	g.episode++
+	ep := g.episode
+	g.off = true
+	g.aborterProc = aborter
+	g.aborterTx = 0
+	g.aborterTxOK = false
+	if g.abortCount < d.satMax(d.gcfg.AbortCounterBits) {
+		g.abortCount++
+	}
+	g.renewCount = 0
+	d.armTimer(victim, g, ep)
+
+	// StopClock to the victim. The stop-clock command rides with the
+	// invalidation acknowledgement (this call runs in the delivery
+	// context of the invalidation that caused the abort), so the victim
+	// cannot issue new traffic between the abort and the freeze.
+	if d.procs[victim].DeliverStopClock(d.id) {
+		d.counters.Gatings++
+		d.stats.Gatings++
+		d.rec.Record(trace.Event{At: d.eng.Now(), Kind: trace.EvGate,
+			Proc: victim, Other: aborter, Dir: d.id})
+	}
+
+	// TxInfoReq to the aborter, reply stored in the table (Fig. 2(d)).
+	// The aborter is mid-commit right now, so the query is answered from
+	// its architectural state; the answer is recorded immediately — the
+	// paper's round trip completes well before the first timer expiry,
+	// and modeling it with bus latency would let tiny first windows race
+	// past the reply and ungate on an unknown aborter transaction.
+	d.counters.TxInfoRequests++
+	g.aborterTx, g.aborterTxOK = d.procs[aborter].TxInfo()
+}
+
+// armTimer loads the gating timer from the contention-management policy
+// using the current abort and renew counts.
+func (d *Directory) armTimer(victim int, g *gateEntry, ep uint64) {
+	if g.timer != nil {
+		g.timer.Cancel()
+	}
+	wt := d.policy.Window(g.abortCount, g.renewCount)
+	if wt < 1 {
+		wt = 1
+	}
+	g.timer = d.eng.ScheduleAfter(wt, func() { d.timerExpired(victim, ep) })
+}
+
+// timerExpired implements the Fig. 2(e) control circuit. The high fan-in
+// OR over Marked processor ids costs ControlCircuitCycles before the
+// decision is known, "extending the clock gating period by a small amount
+// of time".
+func (d *Directory) timerExpired(victim int, ep uint64) {
+	g := &d.gate[victim]
+	if g.episode != ep || !g.off {
+		return
+	}
+	d.eng.ScheduleAfter(d.gcfg.ControlCircuitCycles, func() {
+		if g.episode != ep || !g.off {
+			return
+		}
+		d.evaluateUngate(victim, g, ep)
+	})
+}
+
+// evaluateUngate decides between On and renewal:
+//
+//	(a) aborter no longer marked in this directory        → On
+//	(b) aborter marked but TxInfoReq returns null          → On
+//	(c) aborter marked, same transaction as the abort      → renew
+//	(d) aborter marked, different transaction              → On
+func (d *Directory) evaluateUngate(victim int, g *gateEntry, ep uint64) {
+	if d.gcfg.DisableRenewal {
+		d.sendOn(victim, g)
+		return
+	}
+	// "The aborter thread is still present in that directory": either it
+	// has announced speculative writes homed here (eager store-address
+	// communication) or it sits in the commit queue.
+	_, inQueue := d.marked[g.aborterProc]
+	if !inQueue && !d.announced[g.aborterProc] {
+		d.sendOn(victim, g)
+		return
+	}
+	aborter := g.aborterProc
+	d.counters.TxInfoRequests++
+	d.bus.Send(func() {
+		pc, ok := d.procs[aborter].TxInfo()
+		d.bus.Send(func() {
+			if g.episode != ep || !g.off {
+				return
+			}
+			if !ok || !g.aborterTxOK || pc != g.aborterTx {
+				d.sendOn(victim, g)
+				return
+			}
+			// Renewal: the enemy transaction is still committing the
+			// same transaction that killed us. Extend the gate.
+			if g.renewCount < d.satMax(d.gcfg.RenewCounterBits) {
+				g.renewCount++
+			}
+			d.counters.Renewals++
+			d.stats.Renewals++
+			d.rec.Record(trace.Event{At: d.eng.Now(), Kind: trace.EvRenew,
+				Proc: victim, Other: g.aborterProc, Dir: d.id})
+			d.armTimer(victim, g, ep)
+		})
+	})
+}
+
+// sendOn delivers the On command and clears the local OFF state.
+func (d *Directory) sendOn(victim int, g *gateEntry) {
+	d.disarm(g)
+	d.counters.Ungates++
+	d.stats.Ungates++
+	d.rec.Record(trace.Event{At: d.eng.Now(), Kind: trace.EvUngate,
+		Proc: victim, Other: g.aborterProc, Dir: d.id})
+	d.bus.Send(func() { d.procs[victim].DeliverOn(d.id) })
+}
+
+// ForceUngateAll is a test/shutdown hook: ungate every processor this
+// directory holds off, regardless of the control-circuit conditions.
+func (d *Directory) ForceUngateAll() {
+	for p := range d.gate {
+		g := &d.gate[p]
+		if g.off {
+			d.sendOn(p, g)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package directory
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/tokens"
+)
+
+func TestVersionsAdvancePerCommit(t *testing.T) {
+	r := newRig(t, 2, false, nil)
+	if r.dir.Version(9) != 0 {
+		t.Fatal("uncommitted line has non-zero version")
+	}
+	r.dir.Mark(0, 5)
+	r.dir.BeginCommit(0, []mem.LineAddr{9}, func() {})
+	r.eng.Run()
+	if r.dir.Version(9) != 1 {
+		t.Fatalf("version %d after first commit", r.dir.Version(9))
+	}
+	if r.dir.LastCommitTID(9) != 5 {
+		t.Fatalf("last TID %d, want 5", r.dir.LastCommitTID(9))
+	}
+	r.dir.Mark(1, 6)
+	r.dir.BeginCommit(1, []mem.LineAddr{9}, func() {})
+	r.eng.Run()
+	if r.dir.Version(9) != 2 {
+		t.Fatalf("version %d after second commit", r.dir.Version(9))
+	}
+	if r.dir.LastCommitTID(9) != 6 {
+		t.Fatalf("last TID %d, want 6", r.dir.LastCommitTID(9))
+	}
+}
+
+func TestHandleReadReportsVersion(t *testing.T) {
+	r := newRig(t, 2, false, nil)
+	r.dir.Mark(0, 1)
+	r.dir.BeginCommit(0, []mem.LineAddr{4}, func() {})
+	r.eng.Run()
+	var got uint64
+	r.dir.HandleRead(1, 4, func(v uint64) { got = v })
+	r.eng.Run()
+	if got != 1 {
+		t.Fatalf("read reply version %d, want 1", got)
+	}
+}
+
+func TestLastCommitTIDUnknownLine(t *testing.T) {
+	r := newRig(t, 1, false, nil)
+	if r.dir.LastCommitTID(999) != tokens.TIDNone {
+		t.Fatal("unknown line has a committer")
+	}
+}
+
+func TestHasOlderMark(t *testing.T) {
+	r := newRig(t, 3, false, nil)
+	r.dir.Mark(0, 10)
+	r.dir.Mark(1, 20)
+	if !r.dir.HasOlderMark(15, 2) {
+		t.Fatal("TID 10 < 15 not detected")
+	}
+	if r.dir.HasOlderMark(5, 2) {
+		t.Fatal("phantom older mark below the oldest")
+	}
+	// A processor's own mark never blocks itself.
+	if r.dir.HasOlderMark(15, 0) {
+		t.Fatal("self mark counted as older")
+	}
+	r.dir.Unmark(0)
+	if r.dir.HasOlderMark(15, 2) {
+		t.Fatal("withdrawn mark still counted")
+	}
+}
+
+func TestAnnouncedLifecycle(t *testing.T) {
+	r := newRig(t, 2, true, nil)
+	if r.dir.Announced(0) {
+		t.Fatal("fresh directory has announcements")
+	}
+	r.dir.AnnounceIntent(0)
+	if !r.dir.Announced(0) {
+		t.Fatal("announcement not recorded")
+	}
+	r.dir.WithdrawIntent(0)
+	if r.dir.Announced(0) {
+		t.Fatal("withdrawal not applied")
+	}
+	// Withdrawing twice is harmless.
+	r.dir.WithdrawIntent(0)
+}
+
+func TestNoteLineCommittedDeliveredToCommitter(t *testing.T) {
+	r := newRig(t, 2, false, nil)
+	r.dir.Mark(0, 1)
+	r.dir.BeginCommit(0, []mem.LineAddr{3, 7}, func() {})
+	r.eng.Run()
+	// fakeProc ignores the callback; the directory-side contract is that
+	// versions advanced and ownership moved.
+	if r.dir.Version(3) != 1 || r.dir.Version(7) != 1 {
+		t.Fatal("line versions not advanced")
+	}
+	if r.dir.Owner(3) != 0 {
+		t.Fatal("ownership not assigned")
+	}
+}
+
+func TestDirStatsCount(t *testing.T) {
+	r := newRig(t, 2, false, nil)
+	r.dir.HandleRead(1, 2, func(uint64) {})
+	r.dir.Mark(0, 1)
+	r.dir.BeginCommit(0, []mem.LineAddr{2, 3}, func() {})
+	r.eng.Run()
+	st := r.dir.Stats()
+	if st.Reads != 1 {
+		t.Fatalf("reads %d", st.Reads)
+	}
+	if st.Commits != 1 || st.LinesCommitted != 2 {
+		t.Fatalf("commit stats %+v", st)
+	}
+}

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/report"
+	"repro/internal/stamp"
+)
+
+// AblationResult is one row of an ablation table.
+type AblationResult struct {
+	Variant     string
+	SpeedUp     float64
+	EnergyRatio float64
+	Gatings     uint64
+	Renewals    uint64
+}
+
+// AblationPolicies compares gating-window policies on the most contended
+// configuration (intruder at the largest core count). The paper's §VI
+// argues plain back-off policies are a poor fit for highly contentious
+// applications; this quantifies the claim on this simulator.
+func AblationPolicies(o Options) ([]AblationResult, error) {
+	np := maxProcessors(o)
+	var out []AblationResult
+	for _, pk := range []config.PolicyKind{
+		config.PolicyGatingAware, config.PolicyExponential,
+		config.PolicyLinear, config.PolicyFixed,
+	} {
+		pk := pk
+		rs, err := o.runSpec(stamp.Intruder, np)
+		if err != nil {
+			return nil, err
+		}
+		prev := rs.Configure
+		rs.Configure = func(c *config.Config) {
+			if prev != nil {
+				prev(c)
+			}
+			c.Gating.Policy = pk
+		}
+		res, err := core.RunPair(rs)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: policy ablation %s: %w", pk, err)
+		}
+		out = append(out, AblationResult{
+			Variant:     string(pk),
+			SpeedUp:     res.Comparison.SpeedUp,
+			EnergyRatio: res.Comparison.EnergyRatio,
+			Gatings:     res.Gated.Counters.Gatings,
+			Renewals:    res.Gated.Counters.Renewals,
+		})
+	}
+	return out, nil
+}
+
+// AblationRenewal measures the renewal mechanism's contribution on the
+// workload the paper credits it for (yada: long, loop-repeated
+// transactions).
+func AblationRenewal(o Options) ([]AblationResult, error) {
+	np := maxProcessors(o)
+	var out []AblationResult
+	for _, disable := range []bool{false, true} {
+		disable := disable
+		rs, err := o.runSpec(stamp.Yada, np)
+		if err != nil {
+			return nil, err
+		}
+		prev := rs.Configure
+		rs.Configure = func(c *config.Config) {
+			if prev != nil {
+				prev(c)
+			}
+			c.Gating.DisableRenewal = disable
+		}
+		res, err := core.RunPair(rs)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: renewal ablation: %w", err)
+		}
+		name := "renewal on"
+		if disable {
+			name = "renewal off"
+		}
+		out = append(out, AblationResult{
+			Variant:     name,
+			SpeedUp:     res.Comparison.SpeedUp,
+			EnergyRatio: res.Comparison.EnergyRatio,
+			Gatings:     res.Gated.Counters.Gatings,
+			Renewals:    res.Gated.Counters.Renewals,
+		})
+	}
+	return out, nil
+}
+
+// AblationSRPG re-prices one paired run under state-retention power gating
+// at several retained-leakage fractions (paper §IV).
+func AblationSRPG(o Options) ([]AblationResult, error) {
+	np := maxProcessors(o)
+	rs, err := o.runSpec(stamp.Intruder, np)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.RunPair(rs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: SRPG ablation: %w", err)
+	}
+	var out []AblationResult
+	for _, keep := range []float64{1.0, 0.5, 0.25, 0.1} {
+		m := power.Default().WithSRPG(keep)
+		cmp := power.Compare(m, res.Ungated.Ledger, res.Gated.Ledger)
+		out = append(out, AblationResult{
+			Variant:     fmt.Sprintf("retain %.0f%% leakage", keep*100),
+			SpeedUp:     cmp.SpeedUp,
+			EnergyRatio: cmp.EnergyRatio,
+			Gatings:     res.Gated.Counters.Gatings,
+			Renewals:    res.Gated.Counters.Renewals,
+		})
+	}
+	return out, nil
+}
+
+func maxProcessors(o Options) int {
+	np := 0
+	for _, p := range o.processors() {
+		if p > np {
+			np = p
+		}
+	}
+	return np
+}
+
+// renderAblation formats one ablation as a table.
+func renderAblation(title string, rows []AblationResult) string {
+	t := report.Table{
+		Title:   title,
+		Headers: []string{"variant", "speed-up", "E-ratio", "gatings", "renewals"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.Variant,
+			fmt.Sprintf("%.3f", r.SpeedUp),
+			fmt.Sprintf("%.3f", r.EnergyRatio),
+			fmt.Sprintf("%d", r.Gatings),
+			fmt.Sprintf("%d", r.Renewals))
+	}
+	return t.Render()
+}
+
+// Ablations runs the full ablation suite and renders the tables.
+func Ablations(o Options) (string, error) {
+	pol, err := AblationPolicies(o)
+	if err != nil {
+		return "", err
+	}
+	ren, err := AblationRenewal(o)
+	if err != nil {
+		return "", err
+	}
+	srpg, err := AblationSRPG(o)
+	if err != nil {
+		return "", err
+	}
+	out := renderAblation("Ablation: gating-window policy (intruder, max cores)", pol) + "\n"
+	out += renderAblation("Ablation: renewal mechanism (yada, max cores)", ren) + "\n"
+	out += renderAblation("Ablation: state-retention power gating (intruder, max cores)", srpg)
+	return out, nil
+}
+
+// Extended runs the paired campaign over the five extension presets that
+// are not part of the paper's evaluation.
+func Extended(o Options) (*Campaign, error) {
+	o.Apps = []stamp.App{stamp.Bayes, stamp.KMeans, stamp.Labyrinth, stamp.SSCA2, stamp.Vacation}
+	return Run(o)
+}

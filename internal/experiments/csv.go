@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteCSV exports the campaign's per-configuration metrics as CSV for
+// external plotting, one row per (app, processor-count) pair.
+func (c *Campaign) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"app", "processors", "n1_cycles", "n2_cycles", "speedup",
+		"eug", "eg", "energy_ratio", "power_ratio",
+		"energy_savings_pct", "power_savings_pct",
+		"aborts_ungated", "aborts_gated", "validation_aborts_gated",
+		"gatings", "renewals", "ungates", "self_aborts",
+		"commits", "invalidations",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, o := range c.Outcomes {
+		cmp := o.Comparison
+		ug, g := o.Ungated.Counters, o.Gated.Counters
+		row := []string{
+			string(o.Spec.App),
+			fmt.Sprintf("%d", o.Spec.Processors),
+			fmt.Sprintf("%d", cmp.N1),
+			fmt.Sprintf("%d", cmp.N2),
+			fmt.Sprintf("%.6f", cmp.SpeedUp),
+			fmt.Sprintf("%.6g", cmp.Eug),
+			fmt.Sprintf("%.6g", cmp.Eg),
+			fmt.Sprintf("%.6f", cmp.EnergyRatio),
+			fmt.Sprintf("%.6f", cmp.AvgPowerRatio),
+			fmt.Sprintf("%.3f", cmp.EnergySavings*100),
+			fmt.Sprintf("%.3f", cmp.PowerSavings*100),
+			fmt.Sprintf("%d", ug.Aborts),
+			fmt.Sprintf("%d", g.Aborts),
+			fmt.Sprintf("%d", g.ValidationAborts),
+			fmt.Sprintf("%d", g.Gatings),
+			fmt.Sprintf("%d", g.Renewals),
+			fmt.Sprintf("%d", g.Ungates),
+			fmt.Sprintf("%d", g.SelfAborts),
+			fmt.Sprintf("%d", g.Commits),
+			fmt.Sprintf("%d", g.Invalidations),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	c, err := Run(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := c.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("output not parseable CSV: %v", err)
+	}
+	if len(records) != len(c.Outcomes)+1 {
+		t.Fatalf("%d records for %d outcomes", len(records), len(c.Outcomes))
+	}
+	if records[0][0] != "app" || records[0][4] != "speedup" {
+		t.Fatalf("header %v", records[0])
+	}
+	for _, rec := range records[1:] {
+		if len(rec) != len(records[0]) {
+			t.Fatalf("ragged row %v", rec)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGeometryValidation(t *testing.T) {
+	cases := []struct {
+		name     string
+		line     uint64
+		dirs     int
+		memBytes uint64
+		wantErr  bool
+	}{
+		{"valid", 64, 4, 1 << 20, false},
+		{"line not power of two", 48, 4, 1 << 20, true},
+		{"zero line", 0, 4, 1 << 20, true},
+		{"zero dirs", 64, 0, 1 << 20, true},
+		{"negative dirs", 64, -1, 1 << 20, true},
+		{"memory not multiple of line", 64, 4, 100, true},
+		{"zero memory", 64, 4, 0, true},
+		{"single byte line", 1, 1, 16, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := NewGeometry(c.line, c.dirs, c.memBytes)
+			if (err != nil) != c.wantErr {
+				t.Fatalf("NewGeometry(%d,%d,%d) err=%v, wantErr=%v",
+					c.line, c.dirs, c.memBytes, err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestMustGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGeometry with bad args did not panic")
+		}
+	}()
+	MustGeometry(3, 1, 64)
+}
+
+func TestGeometryAccessors(t *testing.T) {
+	g := MustGeometry(64, 8, 1<<20)
+	if g.LineBytes() != 64 {
+		t.Errorf("LineBytes %d", g.LineBytes())
+	}
+	if g.LineShift() != 6 {
+		t.Errorf("LineShift %d, want 6", g.LineShift())
+	}
+	if g.NumDirs() != 8 {
+		t.Errorf("NumDirs %d", g.NumDirs())
+	}
+	if g.MemBytes() != 1<<20 {
+		t.Errorf("MemBytes %d", g.MemBytes())
+	}
+	if g.TotalLines() != (1<<20)/64 {
+		t.Errorf("TotalLines %d", g.TotalLines())
+	}
+}
+
+func TestLineOfStripsOffset(t *testing.T) {
+	g := MustGeometry(64, 4, 1<<20)
+	if g.LineOf(0) != 0 {
+		t.Error("LineOf(0) != 0")
+	}
+	if g.LineOf(63) != 0 {
+		t.Error("LineOf(63) != 0 (same line)")
+	}
+	if g.LineOf(64) != 1 {
+		t.Error("LineOf(64) != 1")
+	}
+	if g.LineOf(129) != 2 {
+		t.Error("LineOf(129) != 2")
+	}
+}
+
+func TestAddrOfIsLineStart(t *testing.T) {
+	g := MustGeometry(64, 4, 1<<20)
+	if g.AddrOf(3) != 192 {
+		t.Errorf("AddrOf(3) = %d, want 192", g.AddrOf(3))
+	}
+}
+
+func TestHomeDirInterleaves(t *testing.T) {
+	g := MustGeometry(64, 4, 1<<20)
+	for l := LineAddr(0); l < 16; l++ {
+		if got, want := g.HomeDir(l), int(uint64(l)%4); got != want {
+			t.Fatalf("HomeDir(%d) = %d, want %d", l, got, want)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	g := MustGeometry(64, 4, 1024)
+	if !g.Contains(0) || !g.Contains(1023) {
+		t.Error("Contains rejects in-range addresses")
+	}
+	if g.Contains(1024) {
+		t.Error("Contains accepts out-of-range address")
+	}
+}
+
+// Property: LineOf/AddrOf round-trip — AddrOf(LineOf(a)) is the largest
+// line boundary not above a.
+func TestQuickLineRoundTrip(t *testing.T) {
+	g := MustGeometry(64, 16, 1<<30)
+	f := func(raw uint32) bool {
+		a := Addr(raw)
+		l := g.LineOf(a)
+		base := g.AddrOf(l)
+		return base <= a && uint64(a)-uint64(base) < g.LineBytes() && g.LineOf(base) == l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: HomeDir is always a valid directory index.
+func TestQuickHomeDirInRange(t *testing.T) {
+	g := MustGeometry(64, 7, 1<<30)
+	f := func(raw uint64) bool {
+		d := g.HomeDir(LineAddr(raw))
+		return d >= 0 && d < 7
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,216 @@
+// Package report renders the reproduction's tables and figures as plain
+// text: fixed-width tables for Tables I/II and the figure data series,
+// plus simple ASCII bar charts for the paper's bar figures.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled fixed-width text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	// Note is printed under the table (provenance, units).
+	Note string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render formats the table with column alignment.
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", len(t.Title)))
+		b.WriteByte('\n')
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			// Right-align numbers, left-align first column.
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				fmt.Fprintf(&b, "%*s", widths[i], c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	if total > 2 {
+		total -= 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Note != "" {
+		b.WriteString(t.Note)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Bar is one bar of a BarChart.
+type Bar struct {
+	Label string
+	Value float64
+	// Annotation is printed after the bar (the paper annotates each
+	// gated bar with its speed-up or reduction factor).
+	Annotation string
+}
+
+// BarChart is a horizontal ASCII bar chart.
+type BarChart struct {
+	Title string
+	Bars  []Bar
+	// Width is the maximum bar width in characters (default 50).
+	Width int
+	// Unit is appended to the printed values.
+	Unit string
+}
+
+// Add appends a bar.
+func (c *BarChart) Add(label string, value float64, annotation string) {
+	c.Bars = append(c.Bars, Bar{Label: label, Value: value, Annotation: annotation})
+}
+
+// Render draws the chart.
+func (c *BarChart) Render() string {
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title)
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat("=", len(c.Title)))
+		b.WriteByte('\n')
+	}
+	width := c.Width
+	if width <= 0 {
+		width = 50
+	}
+	maxVal := 0.0
+	maxLabel := 0
+	for _, bar := range c.Bars {
+		if bar.Value > maxVal {
+			maxVal = bar.Value
+		}
+		if len(bar.Label) > maxLabel {
+			maxLabel = len(bar.Label)
+		}
+	}
+	for _, bar := range c.Bars {
+		n := 0
+		if maxVal > 0 {
+			n = int(bar.Value / maxVal * float64(width))
+		}
+		fmt.Fprintf(&b, "%-*s |%s %.4g%s", maxLabel, bar.Label, strings.Repeat("#", n), bar.Value, c.Unit)
+		if bar.Annotation != "" {
+			fmt.Fprintf(&b, "  (%s)", bar.Annotation)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Series is a labeled sequence of (x, y) points rendered as a text table,
+// used for the line-style figures (Figure 3, Figure 7).
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Point is one (x, y) sample.
+type Point struct {
+	X, Y float64
+}
+
+// SeriesSet renders several series over a shared x axis.
+type SeriesSet struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// XFormat and YFormat are fmt verbs for the values (default %g).
+	XFormat, YFormat string
+}
+
+// Render formats the set as a table with one column per series.
+func (s *SeriesSet) Render() string {
+	xf := s.XFormat
+	if xf == "" {
+		xf = "%g"
+	}
+	yf := s.YFormat
+	if yf == "" {
+		yf = "%g"
+	}
+	t := Table{Title: s.Title}
+	t.Headers = append(t.Headers, s.XLabel)
+	for _, sr := range s.Series {
+		t.Headers = append(t.Headers, sr.Name)
+	}
+	// Collect the union of x values in first-seen order.
+	var xs []float64
+	seen := make(map[float64]bool)
+	for _, sr := range s.Series {
+		for _, p := range sr.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	for _, x := range xs {
+		row := []string{fmt.Sprintf(xf, x)}
+		for _, sr := range s.Series {
+			cell := ""
+			for _, p := range sr.Points {
+				if p.X == x {
+					cell = fmt.Sprintf(yf, p.Y)
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		t.AddRow(row...)
+	}
+	if s.YLabel != "" {
+		t.Note = "y: " + s.YLabel
+	}
+	return t.Render()
+}
+
+// Percent formats a fraction as a signed percentage string.
+func Percent(frac float64) string {
+	return fmt.Sprintf("%+.1f%%", frac*100)
+}
+
+// Factor formats a ratio the way the paper annotates bars (e.g. "1.19x").
+func Factor(ratio float64) string {
+	return fmt.Sprintf("%.2fx", ratio)
+}

@@ -1,0 +1,113 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := Table{
+		Title:   "My Table",
+		Headers: []string{"name", "value"},
+		Note:    "a note",
+	}
+	tb.AddRow("alpha", "1")
+	tb.AddRow("longer-name", "23456")
+	out := tb.Render()
+	for _, want := range []string{"My Table", "========", "name", "value", "alpha", "longer-name", "23456", "a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Column alignment: all data rows must have the header's separator
+	// width or less... just assert the separator exists.
+	if !strings.Contains(out, "---") {
+		t.Fatal("no separator rendered")
+	}
+}
+
+func TestTableAlignsColumns(t *testing.T) {
+	tb := Table{Headers: []string{"k", "v"}}
+	tb.AddRow("a", "1")
+	tb.AddRow("bb", "22")
+	lines := strings.Split(strings.TrimSpace(tb.Render()), "\n")
+	// header, separator, two rows
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), tb.Render())
+	}
+	if len(lines[2]) != len(lines[3]) {
+		t.Fatalf("rows not aligned:\n%s", tb.Render())
+	}
+}
+
+func TestBarChartRender(t *testing.T) {
+	c := BarChart{Title: "Chart", Width: 10, Unit: "u"}
+	c.Add("big", 100, "1.00x")
+	c.Add("half", 50, "")
+	out := c.Render()
+	if !strings.Contains(out, "##########") {
+		t.Fatalf("max bar not full width:\n%s", out)
+	}
+	if !strings.Contains(out, "#####") {
+		t.Fatalf("half bar missing:\n%s", out)
+	}
+	if !strings.Contains(out, "(1.00x)") {
+		t.Fatalf("annotation missing:\n%s", out)
+	}
+	if !strings.Contains(out, "100u") {
+		t.Fatalf("unit missing:\n%s", out)
+	}
+}
+
+func TestBarChartZeroValues(t *testing.T) {
+	c := BarChart{}
+	c.Add("zero", 0, "")
+	out := c.Render() // must not divide by zero
+	if !strings.Contains(out, "zero") {
+		t.Fatal("label missing")
+	}
+}
+
+func TestSeriesSetRender(t *testing.T) {
+	s := SeriesSet{
+		Title:  "S",
+		XLabel: "x",
+		YLabel: "why",
+		Series: []Series{
+			{Name: "a", Points: []Point{{1, 10}, {2, 20}}},
+			{Name: "b", Points: []Point{{1, 11}, {3, 33}}},
+		},
+	}
+	out := s.Render()
+	for _, want := range []string{"S", "x", "a", "b", "10", "11", "20", "33", "y: why"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSeriesSetCustomFormats(t *testing.T) {
+	s := SeriesSet{
+		XLabel: "x", XFormat: "%.0f", YFormat: "%.2f",
+		Series: []Series{{Name: "a", Points: []Point{{1.4, 2.5}}}},
+	}
+	out := s.Render()
+	if !strings.Contains(out, "2.50") {
+		t.Fatalf("y format not applied:\n%s", out)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(0.19); got != "+19.0%" {
+		t.Fatalf("Percent(0.19) = %q", got)
+	}
+	if got := Percent(-0.041); got != "-4.1%" {
+		t.Fatalf("Percent(-0.041) = %q", got)
+	}
+}
+
+func TestFactor(t *testing.T) {
+	if got := Factor(1.19); got != "1.19x" {
+		t.Fatalf("Factor = %q", got)
+	}
+}

@@ -1,0 +1,184 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine is the substrate every other package in this repository runs
+// on: processors, caches, buses and directories are all actors that
+// schedule events on a shared virtual clock. Determinism is a hard
+// requirement — two runs with the same seed and configuration must produce
+// identical cycle counts — so the event queue breaks ties on (time,
+// priority, sequence) and all randomness flows through the seeded PCG
+// generator in this package.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point on the simulation clock, measured in cycles.
+type Time int64
+
+// MaxTime is the largest representable simulation time.
+const MaxTime = Time(math.MaxInt64)
+
+// Event is a callback scheduled to run at a specific cycle.
+type Event struct {
+	At       Time
+	Priority int // lower runs first among events at the same cycle
+	seq      uint64
+	fn       func()
+	canceled bool
+}
+
+// Cancel marks the event so the engine skips it when its time comes.
+// Canceling an already-fired event is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Canceled reports whether Cancel has been called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	if q[i].Priority != q[j].Priority {
+		return q[i].Priority < q[j].Priority
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*Event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// construct with NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	fired   uint64
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at cycle zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events currently scheduled (including
+// canceled events not yet discarded).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule runs fn at absolute time at. Scheduling in the past panics:
+// that is always a protocol-model bug, never a recoverable condition.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	return e.ScheduleWithPriority(at, 0, fn)
+}
+
+// ScheduleAfter runs fn delay cycles from now.
+func (e *Engine) ScheduleAfter(delay Time, fn func()) *Event {
+	return e.ScheduleWithPriority(e.now+delay, 0, fn)
+}
+
+// ScheduleWithPriority runs fn at time at; among events scheduled for the
+// same cycle, lower priority values run first.
+func (e *Engine) ScheduleWithPriority(at Time, priority int, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: schedule nil function")
+	}
+	ev := &Event{At: at, Priority: priority, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Step executes the single next event. It returns false when the queue is
+// empty or the engine has been stopped.
+func (e *Engine) Step() bool {
+	for {
+		if e.stopped || len(e.queue) == 0 {
+			return false
+		}
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		if ev.At < e.now {
+			panic(fmt.Sprintf("sim: time went backwards: %d < %d", ev.At, e.now))
+		}
+		e.now = ev.At
+		e.fired++
+		ev.fn()
+		return true
+	}
+}
+
+// Run executes events until the queue drains or Stop is called. It returns
+// the final simulation time.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with time ≤ limit. Events scheduled beyond the
+// limit remain queued. It returns the final simulation time, which never
+// exceeds limit.
+func (e *Engine) RunUntil(limit Time) Time {
+	for !e.stopped && len(e.queue) > 0 {
+		next := e.peek()
+		if next == nil {
+			break
+		}
+		if next.At > limit {
+			break
+		}
+		e.Step()
+	}
+	if e.now > limit {
+		panic("sim: RunUntil overshot limit")
+	}
+	return e.now
+}
+
+// peek returns the next non-canceled event without executing it, discarding
+// canceled events it finds on the way.
+func (e *Engine) peek() *Event {
+	for len(e.queue) > 0 {
+		ev := e.queue[0]
+		if !ev.canceled {
+			return ev
+		}
+		heap.Pop(&e.queue)
+	}
+	return nil
+}
+
+// Stop halts the engine: Run and Step return immediately afterwards.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (e *Engine) Stopped() bool { return e.stopped }

@@ -1,0 +1,56 @@
+package sim
+
+import "testing"
+
+// BenchmarkScheduleAndRun measures raw event throughput: the number to
+// watch when optimizing the heap or the event representation.
+func BenchmarkScheduleAndRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		rng := NewRNG(uint64(i), 1)
+		for j := 0; j < 1000; j++ {
+			e.Schedule(Time(rng.Intn(100000)), func() {})
+		}
+		e.Run()
+	}
+}
+
+// BenchmarkCascade measures the self-scheduling pattern the processor
+// model uses (each event schedules its successor).
+func BenchmarkCascade(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		n := 0
+		var next func()
+		next = func() {
+			n++
+			if n < 1000 {
+				e.ScheduleAfter(1, next)
+			}
+		}
+		e.Schedule(0, next)
+		e.Run()
+	}
+}
+
+// BenchmarkRNG measures the generator in isolation.
+func BenchmarkRNG(b *testing.B) {
+	r := NewRNG(1, 1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+// BenchmarkZipf measures the workload generator's skewed sampler.
+func BenchmarkZipf(b *testing.B) {
+	z := NewZipf(NewRNG(1, 1), 1024, 0.9)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += z.Draw()
+	}
+	_ = sink
+}

@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("new engine at %d, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("new engine has %d pending events", e.Pending())
+	}
+}
+
+func TestScheduleAndRunAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.Schedule(5, func() { fired = append(fired, e.Now()) })
+	e.Schedule(2, func() { fired = append(fired, e.Now()) })
+	e.Schedule(9, func() { fired = append(fired, e.Now()) })
+	end := e.Run()
+	if end != 9 {
+		t.Fatalf("Run returned %d, want 9", end)
+	}
+	want := []Time{2, 5, 9}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestScheduleAfterIsRelative(t *testing.T) {
+	e := NewEngine()
+	var at Time = -1
+	e.Schedule(10, func() {
+		e.ScheduleAfter(7, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 17 {
+		t.Fatalf("relative event at %d, want 17", at)
+	}
+}
+
+func TestSameCycleFIFOOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(3, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-cycle events fired out of insertion order: %v", order)
+		}
+	}
+}
+
+func TestPriorityOrdersWithinCycle(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.ScheduleWithPriority(4, 1, func() { order = append(order, "low") })
+	e.ScheduleWithPriority(4, 0, func() { order = append(order, "high") })
+	e.Run()
+	if len(order) != 2 || order[0] != "high" || order[1] != "low" {
+		t.Fatalf("priority order wrong: %v", order)
+	}
+}
+
+func TestCancelSkipsEvent(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	ev := e.Schedule(5, func() { ran = true })
+	ev.Cancel()
+	if !ev.Canceled() {
+		t.Fatal("Canceled() false after Cancel")
+	}
+	e.Run()
+	if ran {
+		t.Fatal("canceled event ran")
+	}
+	if got := e.Fired(); got != 0 {
+		t.Fatalf("Fired()=%d after canceled-only run, want 0", got)
+	}
+}
+
+func TestCancelFromEarlierEvent(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	var victim *Event
+	e.Schedule(1, func() { victim.Cancel() })
+	victim = e.Schedule(2, func() { ran = true })
+	e.Run()
+	if ran {
+		t.Fatal("event canceled at t=1 still ran at t=2")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(5, func() {})
+	})
+	e.Run()
+}
+
+func TestScheduleNilFuncPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling nil func did not panic")
+		}
+	}()
+	e.Schedule(1, nil)
+}
+
+func TestRunUntilStopsAtLimit(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{1, 5, 10, 20} {
+		at := at
+		e.Schedule(at, func() { fired = append(fired, at) })
+	}
+	now := e.RunUntil(10)
+	if now != 10 {
+		t.Fatalf("RunUntil returned %d, want 10", now)
+	}
+	if len(fired) != 3 {
+		t.Fatalf("fired %v, want events at 1,5,10 only", fired)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending %d, want 1", e.Pending())
+	}
+	// Continuing runs the rest.
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("after full run fired %v", fired)
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := Time(1); i <= 100; i++ {
+		e.Schedule(i, func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("ran %d events after Stop, want 3", count)
+	}
+	if !e.Stopped() {
+		t.Fatal("Stopped() false after Stop")
+	}
+}
+
+func TestStepSingleEvent(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Schedule(1, func() { count++ })
+	e.Schedule(2, func() { count++ })
+	if !e.Step() {
+		t.Fatal("Step returned false with pending events")
+	}
+	if count != 1 {
+		t.Fatalf("Step ran %d events, want 1", count)
+	}
+	e.Run()
+	if e.Step() {
+		t.Fatal("Step returned true on drained queue")
+	}
+}
+
+func TestEventsCascade(t *testing.T) {
+	// An event chain scheduling its successor must run to completion.
+	e := NewEngine()
+	depth := 0
+	var next func()
+	next = func() {
+		depth++
+		if depth < 1000 {
+			e.ScheduleAfter(1, next)
+		}
+	}
+	e.Schedule(0, next)
+	end := e.Run()
+	if depth != 1000 {
+		t.Fatalf("cascade depth %d, want 1000", depth)
+	}
+	if end != 999 {
+		t.Fatalf("cascade ended at %d, want 999", end)
+	}
+}
+
+func TestFiredCountsExecutedOnly(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(1, func() {})
+	ev := e.Schedule(2, func() {})
+	ev.Cancel()
+	e.Schedule(3, func() {})
+	e.Run()
+	if e.Fired() != 2 {
+		t.Fatalf("Fired()=%d, want 2", e.Fired())
+	}
+}
+
+func TestManyEventsHeapOrdering(t *testing.T) {
+	// Insert times in a scrambled deterministic order; execution must be
+	// globally sorted.
+	e := NewEngine()
+	rng := NewRNG(99, 1)
+	var last Time = -1
+	ok := true
+	for i := 0; i < 5000; i++ {
+		at := Time(rng.Intn(100000))
+		e.Schedule(at, func() {
+			if e.Now() < last {
+				ok = false
+			}
+			last = e.Now()
+		})
+	}
+	e.Run()
+	if !ok {
+		t.Fatal("events executed out of time order")
+	}
+}

@@ -1,0 +1,162 @@
+package sim
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator (PCG-XSH-RR,
+// 64-bit state, 32-bit output). Every stochastic choice in the simulator —
+// workload generation, address selection, compute-burst lengths — draws from
+// an RNG seeded from the run configuration, so a run is reproducible from
+// its seed alone. math/rand is deliberately avoided: its global state and
+// version-dependent stream would break cross-version determinism.
+type RNG struct {
+	state uint64
+	inc   uint64
+}
+
+// NewRNG returns a generator seeded with seed. Two generators with the same
+// seed produce identical streams. The stream parameter selects one of 2^63
+// independent sequences, so sibling components (one RNG per processor) can
+// derive non-overlapping streams from a single run seed.
+func NewRNG(seed, stream uint64) *RNG {
+	r := &RNG{inc: (stream << 1) | 1}
+	r.state = 0
+	r.next()
+	r.state += seed
+	r.next()
+	return r
+}
+
+func (r *RNG) next() uint32 {
+	old := r.state
+	r.state = old*6364136223846793005 + r.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return (xorshifted >> rot) | (xorshifted << ((-rot) & 31))
+}
+
+// Uint32 returns the next 32-bit value in the stream.
+func (r *RNG) Uint32() uint32 { return r.next() }
+
+// Uint64 returns the next 64-bit value in the stream.
+func (r *RNG) Uint64() uint64 {
+	return uint64(r.next())<<32 | uint64(r.next())
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+// Bias from the modulo is removed by rejection sampling.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	bound := uint32(n)
+	threshold := -bound % bound
+	for {
+		v := r.next()
+		if v >= threshold {
+			return int(v % bound)
+		}
+	}
+}
+
+// Int63n returns a uniform value in [0, n) for 64-bit ranges.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with non-positive n")
+	}
+	max := uint64(n)
+	threshold := -max % max
+	for {
+		v := r.Uint64()
+		if v >= threshold {
+			return int64(v % max)
+		}
+	}
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Geometric returns a sample from a geometric distribution with mean m,
+// clamped to at least 1. It is used for compute-burst lengths between
+// memory operations.
+func (r *RNG) Geometric(m float64) int {
+	if m <= 1 {
+		return 1
+	}
+	p := 1.0 / m
+	n := 1
+	for !r.Bool(p) && n < 1<<20 {
+		n++
+	}
+	return n
+}
+
+// Derive returns a new generator whose stream is a deterministic function
+// of this generator's seed material and the label. It does not advance the
+// parent stream.
+func (r *RNG) Derive(label uint64) *RNG {
+	return NewRNG(r.state^0x9e3779b97f4a7c15, r.inc^(label*0xbf58476d1ce4e5b9))
+}
+
+// Zipf draws from a bounded Zipf-like distribution over [0, n) with skew
+// s >= 0. s = 0 degenerates to uniform. Implemented by inverse-CDF over a
+// precomputed table when n is small is wasteful per call, so this uses
+// rejection-free approximate inversion adequate for workload skew.
+type Zipf struct {
+	rng *RNG
+	n   int
+	s   float64
+	// cdf is the cumulative distribution, length n. For the sizes used in
+	// workload generation (hot-set sizes of at most a few thousand) the
+	// table is cheap and exact.
+	cdf []float64
+}
+
+// NewZipf builds a Zipf sampler over [0, n) with exponent s using rng.
+func NewZipf(rng *RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("sim: Zipf with non-positive n")
+	}
+	z := &Zipf{rng: rng, n: n, s: s, cdf: make([]float64, n)}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1.0 / pow(float64(i+1), s)
+		z.cdf[i] = sum
+	}
+	for i := range z.cdf {
+		z.cdf[i] /= sum
+	}
+	return z
+}
+
+// Draw returns a sample in [0, n).
+func (z *Zipf) Draw() int {
+	u := z.rng.Float64()
+	lo, hi := 0, z.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func pow(x, y float64) float64 {
+	if y == 0 {
+		return 1
+	}
+	if y == 1 {
+		return x
+	}
+	return math.Pow(x, y)
+}

@@ -1,0 +1,250 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a := NewRNG(42, 7)
+	b := NewRNG(42, 7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1, 7)
+	b := NewRNG(2, 7)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint32() == b.Uint32() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestRNGStreamsDiffer(t *testing.T) {
+	a := NewRNG(42, 1)
+	b := NewRNG(42, 2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint32() == b.Uint32() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different streams produced %d/100 identical draws", same)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(3, 3)
+	for _, n := range []int{1, 2, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	r := NewRNG(1, 1)
+	for _, n := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Intn(%d) did not panic", n)
+				}
+			}()
+			r.Intn(n)
+		}()
+	}
+}
+
+func TestInt63nBounds(t *testing.T) {
+	r := NewRNG(5, 5)
+	for i := 0; i < 1000; i++ {
+		v := r.Int63n(1 << 40)
+		if v < 0 || v >= 1<<40 {
+			t.Fatalf("Int63n out of range: %d", v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(9, 9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %f out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(11, 4)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %f, want ~0.5", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRNG(13, 2)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) frequency %f", frac)
+	}
+}
+
+func TestGeometricMeanAndMinimum(t *testing.T) {
+	r := NewRNG(17, 6)
+	sum := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := r.Geometric(5)
+		if v < 1 {
+			t.Fatalf("Geometric returned %d < 1", v)
+		}
+		sum += v
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-5) > 0.2 {
+		t.Fatalf("Geometric(5) mean %f", mean)
+	}
+	if r.Geometric(0.5) != 1 {
+		t.Fatal("Geometric with mean <= 1 must return 1")
+	}
+}
+
+func TestDeriveIndependentAndStable(t *testing.T) {
+	a := NewRNG(21, 3)
+	d1 := a.Derive(1)
+	d2 := a.Derive(1)
+	// Deriving twice with the same label before advancing the parent
+	// must give identical streams.
+	for i := 0; i < 50; i++ {
+		if d1.Uint32() != d2.Uint32() {
+			t.Fatal("Derive with same label gave different streams")
+		}
+	}
+	d3 := a.Derive(2)
+	same := 0
+	d1b := NewRNG(21, 3).Derive(1)
+	for i := 0; i < 100; i++ {
+		if d1b.Uint32() == d3.Uint32() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different labels produced %d/100 identical draws", same)
+	}
+}
+
+func TestZipfBounds(t *testing.T) {
+	r := NewRNG(23, 8)
+	z := NewZipf(r, 100, 0.9)
+	for i := 0; i < 10000; i++ {
+		v := z.Draw()
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf draw %d out of [0,100)", v)
+		}
+	}
+}
+
+func TestZipfSkewFavorsLowIndices(t *testing.T) {
+	r := NewRNG(29, 8)
+	z := NewZipf(r, 64, 1.0)
+	counts := make([]int, 64)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Draw()]++
+	}
+	if counts[0] <= counts[32] {
+		t.Fatalf("Zipf(1.0): count[0]=%d not above count[32]=%d", counts[0], counts[32])
+	}
+	// Head mass: index 0 should take a disproportionate share.
+	if float64(counts[0])/n < 0.1 {
+		t.Fatalf("Zipf(1.0) head share %f too small", float64(counts[0])/n)
+	}
+}
+
+func TestZipfZeroSkewIsUniform(t *testing.T) {
+	r := NewRNG(31, 8)
+	z := NewZipf(r, 10, 0)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Draw()]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-0.1) > 0.01 {
+			t.Fatalf("uniform Zipf bucket %d frequency %f", i, frac)
+		}
+	}
+}
+
+func TestZipfPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewZipf(n=0) did not panic")
+		}
+	}()
+	NewZipf(NewRNG(1, 1), 0, 1)
+}
+
+// Property: Intn is always within bounds for arbitrary seeds and sizes.
+func TestQuickIntnInRange(t *testing.T) {
+	f := func(seed, stream uint64, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		r := NewRNG(seed, stream)
+		for i := 0; i < 20; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the same seed always reproduces the same prefix.
+func TestQuickDeterminism(t *testing.T) {
+	f := func(seed, stream uint64) bool {
+		a, b := NewRNG(seed, stream), NewRNG(seed, stream)
+		for i := 0; i < 16; i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,220 @@
+// Package stamp provides synthetic workload presets modeled on the STAMP
+// benchmark suite's published transactional characteristics (Minh et al.,
+// IISWC'08). The paper evaluates genome, yada and intruder; the remaining
+// five applications are provided as extension presets.
+//
+// The presets do not re-implement the applications' algorithms — the
+// gating mechanism under study responds only to the conflict structure of
+// the transaction stream: how long transactions are, how large their read
+// and write sets are, how contended the shared data is, and whether the
+// same static transaction repeats inside loops (which drives the gating
+// protocol's renewal path). Those characteristics are what each preset
+// encodes:
+//
+//   - intruder: short transactions, small sets, very high contention
+//     (shared queues/decoder maps) — the paper's "highly conflicting"
+//     case with the largest energy savings.
+//   - yada: long transactions with large read/write sets and moderate
+//     contention (mesh cavity re-triangulation), repeated in loops — the
+//     case the paper says drives the renew counter up while the abort
+//     counter stays low.
+//   - genome: medium transactions, moderate-to-low contention (segment
+//     hashing then list insertion), also loop-repeated.
+package stamp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/workload"
+)
+
+// App identifies a STAMP application preset.
+type App string
+
+// The three applications evaluated in the paper.
+const (
+	Genome   App = "genome"
+	Yada     App = "yada"
+	Intruder App = "intruder"
+)
+
+// Extension presets (not in the paper's evaluation, provided for wider
+// experiments).
+const (
+	Bayes     App = "bayes"
+	KMeans    App = "kmeans"
+	Labyrinth App = "labyrinth"
+	SSCA2     App = "ssca2"
+	Vacation  App = "vacation"
+)
+
+// PaperApps returns the applications in the paper's evaluation, in the
+// order its figures present them.
+func PaperApps() []App { return []App{Genome, Yada, Intruder} }
+
+// AllApps returns every preset, paper apps first.
+func AllApps() []App {
+	return []App{Genome, Yada, Intruder, Bayes, KMeans, Labyrinth, SSCA2, Vacation}
+}
+
+// specs maps each app to its generator parameters. TotalTxs values are
+// sized for simulation runs that finish in well under a second while
+// leaving thousands of commit/abort events for the statistics.
+// Private regions are sized to be L1-resident (the 64 KB/64 B L1 holds
+// 1024 lines): STAMP transactions run at high L1 hit rates, so processor
+// time is execution-dominated, not miss-dominated — the regime the paper's
+// power model assumes (Run power dominates; misses and commits are the
+// exception). Contention comes from small, skewed hot sets: the shared
+// queue heads, tree roots and hash buckets that cause STAMP's aborts.
+var specs = map[App]workload.Spec{
+	Intruder: {
+		Name:         string(Intruder),
+		TotalTxs:     4800,
+		MeanTxOps:    10,
+		TxOpsJitter:  0.5,
+		WriteFrac:    0.50,
+		HotLines:     8,
+		HotFrac:      0.80,
+		ZipfSkew:     1.2,
+		PrivateLines: 256,
+		ComputeMean:  4,
+		InterTxMean:  15,
+		TxTypes:      3,
+	},
+	Yada: {
+		Name:         string(Yada),
+		TotalTxs:     1200,
+		MeanTxOps:    80,
+		TxOpsJitter:  0.4,
+		WriteFrac:    0.35,
+		HotLines:     32,
+		HotFrac:      0.50,
+		ZipfSkew:     0.9,
+		PrivateLines: 384,
+		ComputeMean:  5,
+		InterTxMean:  50,
+		TxTypes:      2,
+	},
+	Genome: {
+		Name:         string(Genome),
+		TotalTxs:     2400,
+		MeanTxOps:    36,
+		TxOpsJitter:  0.4,
+		WriteFrac:    0.30,
+		HotLines:     48,
+		HotFrac:      0.45,
+		ZipfSkew:     1.0,
+		PrivateLines: 384,
+		ComputeMean:  5,
+		InterTxMean:  40,
+		TxTypes:      4,
+	},
+	Bayes: {
+		Name:         string(Bayes),
+		TotalTxs:     600,
+		MeanTxOps:    96,
+		TxOpsJitter:  0.6,
+		WriteFrac:    0.40,
+		HotLines:     48,
+		HotFrac:      0.45,
+		ZipfSkew:     0.9,
+		PrivateLines: 384,
+		ComputeMean:  6,
+		InterTxMean:  60,
+		TxTypes:      2,
+	},
+	KMeans: {
+		Name:         string(KMeans),
+		TotalTxs:     6000,
+		MeanTxOps:    6,
+		TxOpsJitter:  0.3,
+		WriteFrac:    0.50,
+		HotLines:     64,
+		HotFrac:      0.20,
+		ZipfSkew:     0.3,
+		PrivateLines: 256,
+		ComputeMean:  8,
+		InterTxMean:  25,
+		TxTypes:      1,
+	},
+	Labyrinth: {
+		Name:         string(Labyrinth),
+		TotalTxs:     320,
+		MeanTxOps:    160,
+		TxOpsJitter:  0.5,
+		WriteFrac:    0.45,
+		HotLines:     256,
+		HotFrac:      0.55,
+		ZipfSkew:     0.2,
+		PrivateLines: 512,
+		ComputeMean:  3,
+		InterTxMean:  80,
+		TxTypes:      1,
+	},
+	SSCA2: {
+		Name:         string(SSCA2),
+		TotalTxs:     8000,
+		MeanTxOps:    4,
+		TxOpsJitter:  0.3,
+		WriteFrac:    0.55,
+		HotLines:     4096,
+		HotFrac:      0.80,
+		ZipfSkew:     0.1,
+		PrivateLines: 128,
+		ComputeMean:  4,
+		InterTxMean:  10,
+		TxTypes:      2,
+	},
+	Vacation: {
+		Name:         string(Vacation),
+		TotalTxs:     2400,
+		MeanTxOps:    40,
+		TxOpsJitter:  0.4,
+		WriteFrac:    0.30,
+		HotLines:     512,
+		HotFrac:      0.50,
+		ZipfSkew:     0.9,
+		PrivateLines: 384,
+		ComputeMean:  4,
+		InterTxMean:  35,
+		TxTypes:      3,
+	},
+}
+
+// Spec returns the generator parameters for app.
+func Spec(app App) (workload.Spec, error) {
+	s, ok := specs[app]
+	if !ok {
+		return workload.Spec{}, fmt.Errorf("stamp: unknown application %q (known: %v)", app, knownNames())
+	}
+	return s, nil
+}
+
+// MustSpec is Spec that panics on unknown apps.
+func MustSpec(app App) workload.Spec {
+	s, err := Spec(app)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Generate builds the deterministic trace for app with the given thread
+// count and seed.
+func Generate(app App, threads int, seed uint64) (*workload.Trace, error) {
+	s, err := Spec(app)
+	if err != nil {
+		return nil, err
+	}
+	return s.Generate(threads, seed)
+}
+
+func knownNames() []string {
+	names := make([]string, 0, len(specs))
+	for a := range specs {
+		names = append(names, string(a))
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,129 @@
+package stamp
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestAllAppsHaveValidSpecs(t *testing.T) {
+	for _, app := range AllApps() {
+		s, err := Spec(app)
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: invalid spec: %v", app, err)
+		}
+		if s.Name != string(app) {
+			t.Fatalf("%s: spec name %q", app, s.Name)
+		}
+	}
+}
+
+func TestPaperAppsAreSubsetInOrder(t *testing.T) {
+	p := PaperApps()
+	if len(p) != 3 || p[0] != Genome || p[1] != Yada || p[2] != Intruder {
+		t.Fatalf("PaperApps = %v", p)
+	}
+	all := AllApps()
+	if len(all) != 8 {
+		t.Fatalf("AllApps has %d entries", len(all))
+	}
+	for i := range p {
+		if all[i] != p[i] {
+			t.Fatal("AllApps does not lead with the paper apps")
+		}
+	}
+}
+
+func TestUnknownAppRejected(t *testing.T) {
+	if _, err := Spec(App("quake")); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if _, err := Generate(App("quake"), 4, 1); err == nil {
+		t.Fatal("unknown app generated")
+	}
+}
+
+func TestMustSpecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSpec(unknown) did not panic")
+		}
+	}()
+	MustSpec(App("quake"))
+}
+
+func TestGenerateAllAppsFitTableIIMemory(t *testing.T) {
+	g := mem.MustGeometry(64, 16, 1<<30)
+	for _, app := range AllApps() {
+		tr, err := Generate(app, 16, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		if err := tr.Validate(g); err != nil {
+			t.Fatalf("%s: trace invalid: %v", app, err)
+		}
+	}
+}
+
+func TestGenerateDeterministicPerApp(t *testing.T) {
+	for _, app := range PaperApps() {
+		a, _ := Generate(app, 8, 5)
+		b, _ := Generate(app, 8, 5)
+		if a.TotalTxs() != b.TotalTxs() {
+			t.Fatalf("%s: nondeterministic generation", app)
+		}
+		for ti := range a.Threads {
+			if len(a.Threads[ti].Txs) != len(b.Threads[ti].Txs) {
+				t.Fatalf("%s: thread %d differs", app, ti)
+			}
+		}
+	}
+}
+
+// meanOps returns the observed mean memory operations per transaction.
+func meanOps(t *testing.T, app App) float64 {
+	t.Helper()
+	tr, err := Generate(app, 4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, txs := 0, 0
+	for ti := range tr.Threads {
+		for _, tx := range tr.Threads[ti].Txs {
+			txs++
+			for _, op := range tx.Ops {
+				if op.Kind != 2 { // not compute
+					ops++
+				}
+			}
+		}
+	}
+	return float64(ops) / float64(txs)
+}
+
+func TestAppCharacteristicsOrdering(t *testing.T) {
+	// The paper's characterization: intruder has short transactions,
+	// yada long ones, genome in between.
+	intruder := meanOps(t, Intruder)
+	genome := meanOps(t, Genome)
+	yada := meanOps(t, Yada)
+	if !(intruder < genome && genome < yada) {
+		t.Fatalf("tx length ordering violated: intruder=%.1f genome=%.1f yada=%.1f",
+			intruder, genome, yada)
+	}
+}
+
+func TestWorkAmountIndependentOfThreads(t *testing.T) {
+	// STAMP divides a fixed work pool among threads: total transactions
+	// must not grow with the processor count.
+	for _, app := range PaperApps() {
+		t4, _ := Generate(app, 4, 42)
+		t16, _ := Generate(app, 16, 42)
+		if t4.TotalTxs() != t16.TotalTxs() {
+			t.Fatalf("%s: total txs %d@4p vs %d@16p", app, t4.TotalTxs(), t16.TotalTxs())
+		}
+	}
+}

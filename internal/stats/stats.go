@@ -1,0 +1,187 @@
+// Package stats records per-processor state residency over simulated time
+// and aggregates protocol event counters. The residency ledger is the raw
+// material of the paper's energy model (§IV): every equation there is a
+// function of how long each processor spent running, stalled on a miss,
+// committing, or clock-gated.
+package stats
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// State is a processor power state. The set mirrors the paper's power
+// model (Table I): Run covers normal execution and all spinning (the paper
+// assumes spin-locks burn full run power), Miss covers L1 miss service,
+// Commit covers write-set commit, and Gated covers the clock-gated state.
+type State uint8
+
+const (
+	// StateRun is normal execution, commit-spin, and barrier-spin.
+	StateRun State = iota
+	// StateMiss is stalled on an L1 miss.
+	StateMiss
+	// StateCommit is actively committing the write-set.
+	StateCommit
+	// StateGated is clock-gated after an abort.
+	StateGated
+	// NumStates is the number of power states.
+	NumStates = 4
+)
+
+func (s State) String() string {
+	switch s {
+	case StateRun:
+		return "run"
+	case StateMiss:
+		return "miss"
+	case StateCommit:
+		return "commit"
+	case StateGated:
+		return "gated"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// Segment is one residency interval of one processor.
+type Segment struct {
+	State    State
+	From, To sim.Time
+}
+
+// Ledger records the full state timeline of every processor in a run.
+type Ledger struct {
+	procs    int
+	current  []State
+	since    []sim.Time
+	segments [][]Segment
+	closed   bool
+	endTime  sim.Time
+}
+
+// NewLedger creates a ledger for procs processors, all beginning in
+// StateRun at time 0.
+func NewLedger(procs int) *Ledger {
+	l := &Ledger{
+		procs:    procs,
+		current:  make([]State, procs),
+		since:    make([]sim.Time, procs),
+		segments: make([][]Segment, procs),
+	}
+	return l
+}
+
+// Procs returns the processor count.
+func (l *Ledger) Procs() int { return l.procs }
+
+// Transition moves processor p into state s at time now. Zero-length
+// segments are dropped. Transitioning a closed ledger panics.
+func (l *Ledger) Transition(p int, s State, now sim.Time) {
+	if l.closed {
+		panic("stats: transition on closed ledger")
+	}
+	if now < l.since[p] {
+		panic(fmt.Sprintf("stats: transition backwards in time for proc %d: %d < %d", p, now, l.since[p]))
+	}
+	if s == l.current[p] {
+		return
+	}
+	if now > l.since[p] {
+		l.segments[p] = append(l.segments[p], Segment{State: l.current[p], From: l.since[p], To: now})
+	}
+	l.current[p] = s
+	l.since[p] = now
+}
+
+// CurrentState returns processor p's current state.
+func (l *Ledger) CurrentState(p int) State { return l.current[p] }
+
+// Close finalizes the ledger at time end, flushing the open segment of
+// every processor. After Close the ledger is immutable.
+func (l *Ledger) Close(end sim.Time) {
+	if l.closed {
+		return
+	}
+	for p := 0; p < l.procs; p++ {
+		if end > l.since[p] {
+			l.segments[p] = append(l.segments[p], Segment{State: l.current[p], From: l.since[p], To: end})
+		}
+	}
+	l.closed = true
+	l.endTime = end
+}
+
+// Closed reports whether Close has been called.
+func (l *Ledger) Closed() bool { return l.closed }
+
+// End returns the close time.
+func (l *Ledger) End() sim.Time { return l.endTime }
+
+// Segments returns processor p's timeline. Only valid after Close. The
+// returned slice must not be modified.
+func (l *Ledger) Segments(p int) []Segment {
+	if !l.closed {
+		panic("stats: Segments before Close")
+	}
+	return l.segments[p]
+}
+
+// Residency returns, for each processor, the cycles spent in each state
+// within the window [from, to). Only valid after Close.
+func (l *Ledger) Residency(from, to sim.Time) [][NumStates]sim.Time {
+	if !l.closed {
+		panic("stats: Residency before Close")
+	}
+	out := make([][NumStates]sim.Time, l.procs)
+	for p := 0; p < l.procs; p++ {
+		for _, seg := range l.segments[p] {
+			lo, hi := seg.From, seg.To
+			if lo < from {
+				lo = from
+			}
+			if hi > to {
+				hi = to
+			}
+			if hi > lo {
+				out[p][seg.State] += hi - lo
+			}
+		}
+	}
+	return out
+}
+
+// TotalResidency sums Residency over processors.
+func (l *Ledger) TotalResidency(from, to sim.Time) [NumStates]sim.Time {
+	var tot [NumStates]sim.Time
+	for _, r := range l.Residency(from, to) {
+		for s := 0; s < NumStates; s++ {
+			tot[s] += r[s]
+		}
+	}
+	return tot
+}
+
+// Counters aggregates protocol events for one run.
+type Counters struct {
+	Commits          uint64 // transactions committed
+	Aborts           uint64 // directory-initiated aborts (invalidation hits read-set)
+	ValidationAborts uint64 // aborts taken at the commit validation phase
+	SelfAborts       uint64 // self-aborts after wake-up from gating
+	Gatings          uint64 // StopClock deliveries that actually gated a running processor
+	Renewals         uint64 // gating-period renewals
+	Ungates          uint64 // On commands delivered
+	TxInfoRequests   uint64 // TxInfoReq messages
+	TokenRequests    uint64 // TID acquisitions
+	Invalidations    uint64 // invalidation messages sent by directories
+	Overflows        uint64 // speculative-overflow serializations
+}
+
+// AbortRate returns aborts per committed transaction.
+func (c *Counters) AbortRate() float64 {
+	if c.Commits == 0 {
+		return 0
+	}
+	return float64(c.Aborts) / float64(c.Commits)
+}

@@ -1,0 +1,105 @@
+package tcc
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TestChaosForcedUngates injects forced ungates at random intervals while
+// a contended gated workload runs. The protocol is designed to be safe
+// under spurious On commands (the paper "biases slightly more on turning
+// on"), so correctness must be unaffected: every transaction commits, no
+// token leaks, no processor ends frozen.
+func TestChaosForcedUngates(t *testing.T) {
+	spec := workload.Spec{
+		Name: "chaos", TotalTxs: 160, MeanTxOps: 8, TxOpsJitter: 0.4,
+		WriteFrac: 0.5, HotLines: 6, HotFrac: 0.8, ZipfSkew: 1.0,
+		PrivateLines: 32, ComputeMean: 3, InterTxMean: 5, TxTypes: 2,
+	}
+	for seed := uint64(1); seed <= 3; seed++ {
+		tr, err := spec.Generate(4, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := NewSystem(config.Default(4).WithGating(0), tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Chaos driver: every 500-1500 cycles, force-ungate a random
+		// directory. Runs alongside the workload on the same engine.
+		rng := sim.NewRNG(seed, 0xc4405)
+		var chaos func()
+		chaos = func() {
+			d := sys.Directories()[rng.Intn(len(sys.Directories()))]
+			d.ForceUngateAll()
+			sys.Engine().ScheduleAfter(sim.Time(500+rng.Intn(1000)), chaos)
+		}
+		sys.Engine().ScheduleAfter(500, chaos)
+
+		res, err := sys.Run()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if int(res.Counters.Commits) != tr.TotalTxs() {
+			t.Fatalf("seed %d: commits %d, want %d", seed, res.Counters.Commits, tr.TotalTxs())
+		}
+		if sys.Vendor().Outstanding() != 0 {
+			t.Fatalf("seed %d: tokens leaked", seed)
+		}
+		for i, p := range sys.Processors() {
+			if p.State() != "done" {
+				t.Fatalf("seed %d: proc %d ended in state %s", seed, i, p.State())
+			}
+		}
+	}
+}
+
+// TestExtremeW0StillCompletes over-gates aggressively (W0 three orders of
+// magnitude beyond the paper's choice). Throughput suffers, but the
+// protocol must stay live: the un-gate control circuit always re-arms or
+// releases, so work completes.
+func TestExtremeW0StillCompletes(t *testing.T) {
+	spec := workload.Spec{
+		Name: "w0x", TotalTxs: 80, MeanTxOps: 8, TxOpsJitter: 0.4,
+		WriteFrac: 0.5, HotLines: 6, HotFrac: 0.8, ZipfSkew: 1.0,
+		PrivateLines: 32, ComputeMean: 3, InterTxMean: 5, TxTypes: 2,
+	}
+	tr, err := spec.Generate(4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.Default(4).WithGating(8192)
+	cfg.MaxCycles = 200_000_000
+	res := mustRun(t, cfg, tr)
+	if int(res.Counters.Commits) != tr.TotalTxs() {
+		t.Fatalf("commits %d, want %d", res.Counters.Commits, tr.TotalTxs())
+	}
+	if res.Counters.Gatings == 0 {
+		t.Fatal("extreme-W0 run never gated")
+	}
+}
+
+// TestSingleCycleWindows drives the other extreme: W0 = 1 produces
+// minimal windows whose timers can expire before the gating bookkeeping
+// has even settled. The episode guards must keep the table consistent.
+func TestSingleCycleWindows(t *testing.T) {
+	spec := workload.Spec{
+		Name: "w0min", TotalTxs: 120, MeanTxOps: 6, TxOpsJitter: 0.3,
+		WriteFrac: 0.5, HotLines: 4, HotFrac: 0.9, ZipfSkew: 0.8,
+		PrivateLines: 16, ComputeMean: 2, InterTxMean: 3, TxTypes: 1,
+	}
+	tr, err := spec.Generate(8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, config.Default(8).WithGating(1), tr)
+	if int(res.Counters.Commits) != tr.TotalTxs() {
+		t.Fatalf("commits %d, want %d", res.Counters.Commits, tr.TotalTxs())
+	}
+	if res.Counters.SelfAborts != res.Counters.Gatings {
+		t.Fatalf("self-aborts %d != gatings %d", res.Counters.SelfAborts, res.Counters.Gatings)
+	}
+}

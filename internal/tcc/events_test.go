@@ -1,0 +1,171 @@
+package tcc
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// recordedRun executes a gated high-conflict run with a recorder attached.
+func recordedRun(t *testing.T) (*Result, *trace.Recorder) {
+	t.Helper()
+	spec := workload.Spec{
+		Name: "ev", TotalTxs: 120, MeanTxOps: 8, TxOpsJitter: 0.4,
+		WriteFrac: 0.5, HotLines: 6, HotFrac: 0.8, ZipfSkew: 1.0,
+		PrivateLines: 32, ComputeMean: 3, InterTxMean: 5, TxTypes: 2,
+	}
+	tr, err := spec.Generate(4, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := NewSystem(config.Default(4).WithGating(0), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder()
+	sys.SetRecorder(rec)
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, rec
+}
+
+func TestEventCountsMatchCounters(t *testing.T) {
+	res, rec := recordedRun(t)
+	counts := rec.CountByKind()
+	checks := []struct {
+		kind trace.Kind
+		want uint64
+	}{
+		{trace.EvCommit, res.Counters.Commits},
+		{trace.EvAbort, res.Counters.Aborts},
+		{trace.EvGate, res.Counters.Gatings},
+		{trace.EvRenew, res.Counters.Renewals},
+		{trace.EvUngate, res.Counters.Ungates},
+		{trace.EvSelfAbort, res.Counters.SelfAborts},
+		{trace.EvInvalidate, res.Counters.Invalidations},
+		{trace.EvValidationAbort, res.Counters.ValidationAborts},
+	}
+	for _, c := range checks {
+		if uint64(counts[c.kind]) != c.want {
+			t.Errorf("%s events %d, counter %d", c.kind, counts[c.kind], c.want)
+		}
+	}
+}
+
+func TestEventsTimeOrdered(t *testing.T) {
+	_, rec := recordedRun(t)
+	events := rec.Events()
+	if len(events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].At < events[i-1].At {
+			t.Fatalf("events out of order at %d: %v then %v", i, events[i-1], events[i])
+		}
+	}
+}
+
+// TestGateLifecycle: each processor's gate events must alternate — a
+// frozen processor cannot be frozen again before waking, and every freeze
+// eventually ends in a self-abort (the run finishes, so no processor ends
+// frozen).
+func TestGateLifecycle(t *testing.T) {
+	res, rec := recordedRun(t)
+	for p := 0; p < 4; p++ {
+		frozen := false
+		for _, e := range rec.OfProc(p) {
+			switch e.Kind {
+			case trace.EvGate:
+				if frozen {
+					t.Fatalf("proc %d gated while frozen at %d", p, e.At)
+				}
+				frozen = true
+			case trace.EvSelfAbort:
+				if !frozen {
+					t.Fatalf("proc %d self-aborted while running at %d", p, e.At)
+				}
+				frozen = false
+			case trace.EvCommit, trace.EvAbort, trace.EvValidationAbort, trace.EvTxBegin:
+				if frozen {
+					t.Fatalf("proc %d executed %s while frozen at %d", p, e.Kind, e.At)
+				}
+			}
+		}
+		if frozen {
+			t.Fatalf("proc %d ended the run frozen", p)
+		}
+	}
+	if res.Counters.Gatings == 0 {
+		t.Fatal("scenario produced no gatings; lifecycle untested")
+	}
+}
+
+// TestCommitsFollowBegins: a commit must always belong to the most recent
+// tx-begin of the same processor and PC.
+func TestCommitsFollowBegins(t *testing.T) {
+	_, rec := recordedRun(t)
+	lastPC := map[int]uint64{}
+	began := map[int]bool{}
+	for _, e := range rec.Events() {
+		switch e.Kind {
+		case trace.EvTxBegin:
+			lastPC[e.Proc] = e.TxPC
+			began[e.Proc] = true
+		case trace.EvCommit:
+			if !began[e.Proc] {
+				t.Fatalf("proc %d committed without beginning at %d", e.Proc, e.At)
+			}
+			if e.TxPC != lastPC[e.Proc] {
+				t.Fatalf("proc %d committed pc=0x%x but last began 0x%x", e.Proc, e.TxPC, lastPC[e.Proc])
+			}
+		}
+	}
+}
+
+// TestAbortersAreRealCommitters: the aborter recorded in each abort event
+// must have a commit no earlier than shortly before the abort (the
+// invalidation that kills a victim is sent by a line commit of the
+// aborter's transaction, which completes within the commit window).
+func TestAbortersAreRealCommitters(t *testing.T) {
+	_, rec := recordedRun(t)
+	aborts := 0
+	for _, e := range rec.Events() {
+		if e.Kind != trace.EvAbort {
+			continue
+		}
+		aborts++
+		if e.Other == e.Proc {
+			t.Fatalf("processor %d aborted itself via invalidation at %d", e.Proc, e.At)
+		}
+	}
+	if aborts == 0 {
+		t.Fatal("no aborts recorded; assertion vacuous")
+	}
+}
+
+// TestUngatesPairWithGates: per (proc, dir), gates and ungates alternate.
+func TestUngatesPairWithGates(t *testing.T) {
+	_, rec := recordedRun(t)
+	type key struct{ proc, dir int }
+	off := map[key]bool{}
+	for _, e := range rec.Events() {
+		k := key{e.Proc, e.Dir}
+		switch e.Kind {
+		case trace.EvGate:
+			off[k] = true
+		case trace.EvRenew:
+			if !off[k] {
+				t.Fatalf("renewal without gate for proc %d dir %d at %d", e.Proc, e.Dir, e.At)
+			}
+		case trace.EvUngate:
+			if !off[k] {
+				t.Fatalf("ungate without gate for proc %d dir %d at %d", e.Proc, e.Dir, e.At)
+			}
+			off[k] = false
+		}
+	}
+}

@@ -1,0 +1,643 @@
+// Package tcc assembles the full simulated machine: in-order TCC
+// processors executing transactional workload traces over the bus,
+// directory, and token-vendor substrates, with the paper's clock-gating
+// protocol layered on top when enabled.
+package tcc
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tokens"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// procState is the processor FSM state.
+type procState uint8
+
+const (
+	// stateIdle: before the thread's first transaction begins.
+	stateIdle procState = iota
+	// stateRunTx: executing a transaction body (or inter-tx code).
+	stateRunTx
+	// stateWaitMiss: stalled on an L1 miss.
+	stateWaitMiss
+	// stateWaitTID: waiting for the token vendor's TID reply.
+	stateWaitTID
+	// stateCommitWait: marked in directories, spinning for the grant.
+	stateCommitWait
+	// stateCommitting: writing the write-set (commit-immune).
+	stateCommitting
+	// stateGated: clocks stopped by a directory.
+	stateGated
+	// stateDone: all transactions committed; spinning at the barrier.
+	stateDone
+)
+
+func (s procState) String() string {
+	switch s {
+	case stateIdle:
+		return "idle"
+	case stateRunTx:
+		return "runTx"
+	case stateWaitMiss:
+		return "waitMiss"
+	case stateWaitTID:
+		return "waitTID"
+	case stateCommitWait:
+		return "commitWait"
+	case stateCommitting:
+		return "committing"
+	case stateGated:
+		return "gated"
+	case stateDone:
+		return "done"
+	default:
+		return fmt.Sprintf("procState(%d)", uint8(s))
+	}
+}
+
+// powerState maps an FSM state to its Table I power state. Spinning —
+// whether for the commit grant, the TID, or at the final barrier — burns
+// full run power (§VII: "at synchronization points the processor consumes
+// full run mode power while executing spin-locks").
+func (s procState) powerState() stats.State {
+	switch s {
+	case stateWaitMiss:
+		return stats.StateMiss
+	case stateCommitting:
+		return stats.StateCommit
+	case stateGated:
+		return stats.StateGated
+	default:
+		return stats.StateRun
+	}
+}
+
+// ProcStats aggregates one processor's protocol activity.
+type ProcStats struct {
+	Commits          uint64
+	Aborts           uint64 // remote invalidation aborts
+	ValidationAborts uint64 // aborts taken at the commit validation phase
+	SelfAborts       uint64 // aborts executed on wake-up from gating
+	Gatings          uint64 // times the clock actually froze
+	ReadOnlyCommits  uint64
+	MaxAttempts      int // worst-case attempts for a single transaction
+}
+
+// Processor models one single-issue in-order TCC core executing a
+// transaction stream.
+type Processor struct {
+	id  int
+	sys *System
+
+	l1     *cache.Cache
+	thread *workload.Thread
+
+	state procState
+	// gen invalidates in-flight asynchronous replies (miss data, TID
+	// grants, mark deliveries) whenever the transaction they belong to
+	// dies: every abort and freeze increments it.
+	gen uint64
+	// pending is the cancellable local event (compute burst, hit
+	// sequence, restart).
+	pending *sim.Event
+
+	txIdx    int
+	opIdx    int
+	attempts int // execution attempts of the current transaction
+
+	readSet  map[mem.LineAddr]struct{}
+	writeSet map[mem.LineAddr]struct{}
+	// versions records, for every line resident in the L1, the commit
+	// version of the data the cache holds. readVersions snapshots the
+	// version each line had when this transaction first read it; the
+	// commit-time validation phase compares those snapshots against the
+	// directories' current versions (Scalable TCC's validation).
+	versions     map[mem.LineAddr]uint64
+	readVersions map[mem.LineAddr]uint64
+	// announcedDirs tracks the home directories that have received this
+	// transaction's eager store-address announcements (Scalable TCC
+	// communicates write addresses during execution; data moves at
+	// commit). The announcement is what keeps the directory's "Marked"
+	// bit set for the renewal check while the transaction executes.
+	announcedDirs map[int]bool
+
+	tid         tokens.TID
+	commitDirs  []int // directories the current commit touches, ascending
+	commitsLeft int   // outstanding per-directory commit completions
+
+	stats ProcStats
+}
+
+func newProcessor(id int, sys *System, l1 *cache.Cache, thread *workload.Thread) *Processor {
+	return &Processor{
+		id:            id,
+		sys:           sys,
+		l1:            l1,
+		thread:        thread,
+		state:         stateIdle,
+		readSet:       make(map[mem.LineAddr]struct{}),
+		writeSet:      make(map[mem.LineAddr]struct{}),
+		versions:      make(map[mem.LineAddr]uint64),
+		readVersions:  make(map[mem.LineAddr]uint64),
+		announcedDirs: make(map[int]bool),
+	}
+}
+
+// ID implements directory.ProcessorPort.
+func (p *Processor) ID() int { return p.id }
+
+// State returns the FSM state (for tests).
+func (p *Processor) State() string { return p.state.String() }
+
+// Stats returns a copy of the processor's counters.
+func (p *Processor) Stats() ProcStats { return p.stats }
+
+// CacheStats returns the L1 counters.
+func (p *Processor) CacheStats() cache.Stats { return p.l1.Stats() }
+
+// setState transitions the FSM and the power ledger together.
+func (p *Processor) setState(s procState) {
+	p.state = s
+	p.sys.ledger.Transition(p.id, s.powerState(), p.sys.eng.Now())
+}
+
+// cancelPending cancels the outstanding local event, if any.
+func (p *Processor) cancelPending() {
+	if p.pending != nil {
+		p.pending.Cancel()
+		p.pending = nil
+	}
+}
+
+// start launches the thread at simulation time zero.
+func (p *Processor) start() {
+	if len(p.thread.Txs) == 0 {
+		p.finishThread()
+		return
+	}
+	p.setState(stateRunTx)
+	p.scheduleInterTx()
+}
+
+// scheduleInterTx runs the non-transactional gap before the current
+// transaction, then begins it.
+func (p *Processor) scheduleInterTx() {
+	gap := sim.Time(p.thread.InterTx[p.txIdx])
+	if gap < 1 {
+		gap = 1
+	}
+	gen := p.gen
+	p.pending = p.sys.eng.ScheduleAfter(gap, func() {
+		if p.gen != gen {
+			return
+		}
+		p.pending = nil
+		p.beginTx()
+	})
+}
+
+// beginTx starts (or restarts) the current transaction from its first
+// operation with empty speculative state.
+func (p *Processor) beginTx() {
+	p.opIdx = 0
+	p.attempts++
+	if p.attempts > p.stats.MaxAttempts {
+		p.stats.MaxAttempts = p.attempts
+	}
+	p.sys.rec.Record(trace.Event{At: p.sys.eng.Now(), Kind: trace.EvTxBegin,
+		Proc: p.id, TxPC: p.currentTx().PC})
+	p.step()
+}
+
+// currentTx returns the transaction being executed.
+func (p *Processor) currentTx() *workload.Transaction {
+	return &p.thread.Txs[p.txIdx]
+}
+
+// step executes operations until one requires waiting (compute burst,
+// miss, or transaction end).
+func (p *Processor) step() {
+	tx := p.currentTx()
+	for {
+		if p.opIdx >= len(tx.Ops) {
+			p.reachCommitPoint()
+			return
+		}
+		op := tx.Ops[p.opIdx]
+		switch op.Kind {
+		case workload.OpCompute:
+			gen := p.gen
+			p.pending = p.sys.eng.ScheduleAfter(sim.Time(op.Cycles), func() {
+				if p.gen != gen {
+					return
+				}
+				p.pending = nil
+				p.opIdx++
+				p.step()
+			})
+			return
+		case workload.OpRead, workload.OpWrite:
+			write := op.Kind == workload.OpWrite
+			hit, inserted := p.accessCache(op.Line, write)
+			if write {
+				p.writeSet[op.Line] = struct{}{}
+				p.announceIntent(op.Line)
+			} else {
+				p.readSet[op.Line] = struct{}{}
+				if hit {
+					// Snapshot the version of the cached data the first
+					// time this transaction reads the line.
+					if _, ok := p.readVersions[op.Line]; !ok {
+						p.readVersions[op.Line] = p.versions[op.Line]
+					}
+				}
+			}
+			if hit {
+				// Hit: pay the L1 latency, continue with the next op.
+				gen := p.gen
+				p.pending = p.sys.eng.ScheduleAfter(p.sys.cfg.Machine.L1HitCycles, func() {
+					if p.gen != gen {
+						return
+					}
+					p.pending = nil
+					p.opIdx++
+					p.step()
+				})
+				return
+			}
+			p.issueMiss(op.Line, !write, inserted)
+			return
+		default:
+			panic(fmt.Sprintf("tcc: processor %d: bad op kind %d", p.id, op.Kind))
+		}
+	}
+}
+
+// accessCache probes the L1 and reports hit/miss. Speculative overflow
+// (every way of a set pinned by SM lines) falls back to a non-pinning
+// access: the logical write-set still tracks the line, only the cache's
+// timing state degrades. Real TCC would serialize the transaction; the
+// paper's workloads never overflow a 64 KB L1, but tiny-cache tests do.
+func (p *Processor) accessCache(l mem.LineAddr, write bool) (hit, resident bool) {
+	res, err := p.l1.Access(l, write)
+	if err == nil {
+		if res.Evicted {
+			delete(p.versions, res.Victim)
+		}
+		return res.Hit, true
+	}
+	p.sys.counters.Overflows++
+	res, err = p.l1.Access(l, false)
+	if err == nil {
+		if res.Evicted {
+			delete(p.versions, res.Victim)
+		}
+		return res.Hit, true
+	}
+	// Even the read allocation failed: bypass the cache entirely and
+	// charge a miss.
+	p.sys.counters.Overflows++
+	return false, false
+}
+
+// announceIntent sends the eager store-address announcement for a line's
+// home directory the first time this transaction writes a line homed
+// there. The message rides the bus; a transaction that dies first drops
+// the in-flight announcement via the generation guard.
+func (p *Processor) announceIntent(l mem.LineAddr) {
+	home := p.sys.geom.HomeDir(l)
+	if p.announcedDirs[home] {
+		return
+	}
+	p.announcedDirs[home] = true
+	gen := p.gen
+	dir := p.sys.dirs[home]
+	p.sys.bus.Send(func() {
+		if p.gen != gen {
+			return
+		}
+		dir.AnnounceIntent(p.id)
+	})
+}
+
+// withdrawIntents clears this transaction's announcements everywhere.
+func (p *Processor) withdrawIntents() {
+	for di := range p.announcedDirs {
+		p.sys.dirs[di].WithdrawIntent(p.id)
+	}
+	p.announcedDirs = make(map[int]bool)
+}
+
+// issueMiss sends a read request to the line's home directory and stalls.
+// The reply carries the commit version of the delivered data: it refreshes
+// the resident-line version table and, for reads, snapshots the
+// transaction's read version.
+func (p *Processor) issueMiss(l mem.LineAddr, read, resident bool) {
+	p.setState(stateWaitMiss)
+	gen := p.gen
+	home := p.sys.geom.HomeDir(l)
+	dir := p.sys.dirs[home]
+	p.sys.bus.Send(func() {
+		dir.HandleRead(p.id, l, func(version uint64) {
+			// The fill lands in the cache whatever the fate of the
+			// transaction that requested it.
+			if resident && p.l1.Present(l) {
+				p.versions[l] = version
+			}
+			if p.gen != gen {
+				return // transaction died while the miss was in flight
+			}
+			if read {
+				if _, ok := p.readVersions[l]; !ok {
+					p.readVersions[l] = version
+				}
+			}
+			p.setState(stateRunTx)
+			p.opIdx++
+			p.step()
+		})
+	})
+}
+
+// reachCommitPoint ends the transaction body. Read-only transactions
+// commit locally: with nothing to publish, TCC needs no token and no
+// directory writes. Writing transactions request a TID.
+func (p *Processor) reachCommitPoint() {
+	if len(p.writeSet) == 0 {
+		p.stats.ReadOnlyCommits++
+		p.completeCommit()
+		return
+	}
+	p.setState(stateWaitTID)
+	gen := p.gen
+	p.sys.bus.Send(func() {
+		p.sys.eng.ScheduleAfter(p.sys.cfg.Machine.TokenCycles, func() {
+			// The vendor allocates the TID at its service instant even
+			// if the requester dies before the reply lands; the release
+			// below keeps the vendor's books straight in that case.
+			tid := p.sys.vendor.Acquire(p.id)
+			p.sys.counters.TokenRequests++
+			p.sys.bus.Send(func() {
+				if p.gen != gen {
+					p.sys.vendor.Release(tid)
+					return
+				}
+				p.tid = tid
+				p.enterCommitQueue()
+			})
+		})
+	})
+}
+
+// enterCommitQueue places the commit request (the TID-stamped mark) in
+// every directory the write-set touches. Marking happens atomically with
+// the TID reply: the bus delivers TID replies in acquisition order, so a
+// younger committer can never probe a directory before an older
+// committer's mark is visible — the property the read-set validation
+// probe depends on.
+func (p *Processor) enterCommitQueue() {
+	p.setState(stateCommitWait)
+	p.commitDirs = p.commitDirs[:0]
+	seen := make(map[int]struct{})
+	for _, l := range sortedSet(p.writeSet) {
+		home := p.sys.geom.HomeDir(l)
+		if _, ok := seen[home]; !ok {
+			seen[home] = struct{}{}
+			p.commitDirs = append(p.commitDirs, home)
+		}
+	}
+	sortInts(p.commitDirs)
+	for _, di := range p.commitDirs {
+		p.sys.dirs[di].Mark(p.id, p.tid)
+	}
+	p.sys.tryGrant()
+}
+
+// readDirs returns the home directories of the read-set, deduplicated.
+func (p *Processor) readDirs() []int {
+	seen := make(map[int]struct{})
+	var out []int
+	for _, l := range sortedSet(p.readSet) {
+		home := p.sys.geom.HomeDir(l)
+		if _, ok := seen[home]; !ok {
+			seen[home] = struct{}{}
+			out = append(out, home)
+		}
+	}
+	return out
+}
+
+// validateReadSet is the Scalable-TCC validation phase, run at the commit
+// grant: every line this transaction read must still be at the version it
+// was read at. A mismatch means an older transaction committed over the
+// read-set while our invalidation was still in flight; the transaction
+// aborts instead of committing.
+func (p *Processor) validateReadSet() bool {
+	for l := range p.readSet {
+		home := p.sys.geom.HomeDir(l)
+		if p.sys.dirs[home].Version(l) != p.readVersions[l] {
+			return false
+		}
+	}
+	return true
+}
+
+// grant begins the actual commit: the system has established that this
+// processor heads the queue in every directory it needs, that those
+// directories are free, and that no older committer is pending in any
+// read-set directory. Validation runs first; from there the transaction
+// is immune to aborts.
+func (p *Processor) grant() {
+	if !p.validateReadSet() {
+		p.stats.ValidationAborts++
+		p.sys.counters.ValidationAborts++
+		p.sys.rec.Record(trace.Event{At: p.sys.eng.Now(), Kind: trace.EvValidationAbort,
+			Proc: p.id, TxPC: p.currentTx().PC})
+		p.abortCurrent(true)
+		return
+	}
+	p.setState(stateCommitting)
+	p.commitsLeft = len(p.commitDirs)
+	byDir := make(map[int][]mem.LineAddr, len(p.commitDirs))
+	for _, l := range sortedSet(p.writeSet) {
+		home := p.sys.geom.HomeDir(l)
+		byDir[home] = append(byDir[home], l)
+	}
+	for _, di := range p.commitDirs {
+		dir := p.sys.dirs[di]
+		lines := byDir[di]
+		p.sys.bus.Send(func() {
+			dir.BeginCommit(p.id, lines, func() {
+				p.commitsLeft--
+				if p.commitsLeft == 0 {
+					p.completeCommit()
+				}
+			})
+		})
+	}
+}
+
+// completeCommit retires the transaction and moves to the next one.
+func (p *Processor) completeCommit() {
+	if p.tid != tokens.TIDNone {
+		p.sys.vendor.Release(p.tid)
+		p.tid = tokens.TIDNone
+	}
+	// "Abort count field is reset to 0 whenever a thread commits."
+	for _, d := range p.sys.dirs {
+		d.OnProcessorCommitted(p.id)
+	}
+	p.sys.rec.Record(trace.Event{At: p.sys.eng.Now(), Kind: trace.EvCommit,
+		Proc: p.id, TxPC: p.currentTx().PC})
+	p.clearSpec(false)
+	p.commitDirs = p.commitDirs[:0]
+	p.stats.Commits++
+	p.sys.counters.Commits++
+	p.attempts = 0
+	p.txIdx++
+	p.gen++
+	if p.txIdx >= len(p.thread.Txs) {
+		p.finishThread()
+		return
+	}
+	p.setState(stateRunTx)
+	p.scheduleInterTx()
+}
+
+func (p *Processor) finishThread() {
+	p.setState(stateDone)
+	p.sys.threadDone()
+}
+
+// clearSpec flash-clears speculative state. abort=true also drops the
+// speculatively written lines from the cache.
+func (p *Processor) clearSpec(abort bool) {
+	for _, l := range p.l1.ClearSpeculative(abort) {
+		delete(p.versions, l)
+	}
+	p.readSet = make(map[mem.LineAddr]struct{})
+	p.writeSet = make(map[mem.LineAddr]struct{})
+	p.readVersions = make(map[mem.LineAddr]uint64)
+	p.withdrawIntents()
+}
+
+// abortCurrent kills the running transaction: release the token, withdraw
+// commit intent, discard speculative state, and (unless frozen) restart.
+func (p *Processor) abortCurrent(restart bool) {
+	p.gen++
+	p.cancelPending()
+	if p.tid != tokens.TIDNone {
+		p.sys.vendor.Release(p.tid)
+		p.tid = tokens.TIDNone
+	}
+	if len(p.commitDirs) > 0 {
+		for _, di := range p.commitDirs {
+			p.sys.dirs[di].Unmark(p.id)
+		}
+		p.commitDirs = p.commitDirs[:0]
+		// Withdrawing a mark can unblock a younger committer.
+		p.sys.scheduleTryGrant()
+	}
+	p.clearSpec(true)
+	if restart {
+		p.setState(stateRunTx)
+		p.beginTx()
+	}
+}
+
+// DeliverInvalidation implements directory.ProcessorPort. It returns true
+// when the invalidation aborts the running transaction: the paper's abort
+// condition is a committed line present in the victim's speculative
+// read-set.
+func (p *Processor) DeliverInvalidation(line mem.LineAddr, aborter, dir int) bool {
+	// Drop the line from the cache regardless of transactional outcome.
+	p.l1.Invalidate(line)
+	delete(p.versions, line)
+	switch p.state {
+	case stateCommitting, stateDone, stateIdle:
+		// Commit-immune, finished, or not yet started: no abort.
+		return false
+	case stateGated:
+		// Already frozen: the transaction is already doomed and will
+		// self-abort on wake-up. A frozen processor cannot take a new
+		// abort (and must not be re-gated: its entry in the aborting
+		// directory would double-count).
+		return false
+	}
+	if _, ok := p.readSet[line]; !ok {
+		return false // write-only overlap: TCC write-write is not a conflict
+	}
+	p.stats.Aborts++
+	p.abortCurrent(true)
+	return true
+}
+
+// DeliverStopClock implements directory.ProcessorPort: freeze the clocks.
+// A committing processor drops the signal — by the time a StopClock
+// chases a processor that has already won the commit race, freezing it
+// would stall the directory it occupies; the directory's local OFF view
+// reconciles via noteProcessorAlive. Finished processors also drop it.
+func (p *Processor) DeliverStopClock(dir int) bool {
+	switch p.state {
+	case stateCommitting, stateDone:
+		return false
+	case stateGated:
+		return true // already frozen; the freeze stands
+	}
+	// The freeze kills whatever the processor was doing. Resources are
+	// released immediately (the aborted transaction's token and marks
+	// die with it); the restart happens at wake-up via self-abort.
+	p.abortCurrent(false)
+	p.setState(stateGated)
+	p.stats.Gatings++
+	return true
+}
+
+// DeliverOn implements directory.ProcessorPort: restart the clocks. After
+// the PLL relock delay the processor self-aborts the transaction it was
+// frozen in ("required to maintain the correctness of the program"; not
+// tracked by any directory) and re-executes it.
+func (p *Processor) DeliverOn(dir int) {
+	if p.state != stateGated {
+		return // stale On from a directory with an out-of-date view
+	}
+	gen := p.gen
+	p.sys.eng.ScheduleAfter(p.sys.cfg.Gating.WakeupCycles, func() {
+		if p.gen != gen || p.state != stateGated {
+			return
+		}
+		p.stats.SelfAborts++
+		p.sys.counters.SelfAborts++
+		p.sys.rec.Record(trace.Event{At: p.sys.eng.Now(), Kind: trace.EvSelfAbort,
+			Proc: p.id, TxPC: p.currentTx().PC})
+		p.abortCurrent(true)
+	})
+}
+
+// Gated implements directory.ProcessorPort.
+func (p *Processor) Gated() bool { return p.state == stateGated }
+
+// NoteLineCommitted implements directory.ProcessorPort: record the commit
+// version assigned to one of our own committed lines, whose data stays
+// valid in the L1 after the commit.
+func (p *Processor) NoteLineCommitted(l mem.LineAddr, version uint64) {
+	if p.l1.Present(l) {
+		p.versions[l] = version
+	}
+}
+
+// TxInfo implements directory.ProcessorPort: the id of the transaction
+// currently executing, or a null reply when gated, idle or finished.
+func (p *Processor) TxInfo() (uint64, bool) {
+	switch p.state {
+	case stateGated, stateDone, stateIdle:
+		return 0, false
+	}
+	return p.currentTx().PC, true
+}

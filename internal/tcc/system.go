@@ -1,0 +1,280 @@
+package tcc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bus"
+	"repro/internal/cache"
+	"repro/internal/cm"
+	"repro/internal/config"
+	"repro/internal/directory"
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tokens"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// System is the complete simulated machine for one run of one trace.
+type System struct {
+	cfg    config.Config
+	eng    *sim.Engine
+	bus    *bus.Bus
+	geom   *mem.Geometry
+	vendor *tokens.Vendor
+	dirs   []*directory.Directory
+	procs  []*Processor
+
+	ledger   *stats.Ledger
+	counters stats.Counters
+
+	done           int
+	endTime        sim.Time
+	tryGrantQueued bool
+	traceName      string
+	rec            *trace.Recorder
+}
+
+// NewSystem builds a machine from the configuration and wires the trace's
+// threads onto the processors. The trace must have exactly
+// cfg.Machine.Processors threads.
+func NewSystem(cfg config.Config, trace *workload.Trace) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if trace.NumThreads() != cfg.Machine.Processors {
+		return nil, fmt.Errorf("tcc: trace has %d threads but machine has %d processors",
+			trace.NumThreads(), cfg.Machine.Processors)
+	}
+	geom, err := mem.NewGeometry(uint64(cfg.Machine.L1LineBytes), cfg.Machine.Directories, cfg.Machine.MemoryBytes)
+	if err != nil {
+		return nil, err
+	}
+	if err := trace.Validate(geom); err != nil {
+		return nil, err
+	}
+	s := &System{
+		cfg:    cfg,
+		eng:    sim.NewEngine(),
+		geom:   geom,
+		vendor: tokens.NewVendor(),
+		ledger: stats.NewLedger(cfg.Machine.Processors),
+	}
+	s.traceName = trace.Name
+	s.bus = bus.New(s.eng, cfg.Machine.BusCycles)
+
+	policy := policyFor(cfg.Gating)
+	s.dirs = make([]*directory.Directory, cfg.Machine.Directories)
+	for i := range s.dirs {
+		s.dirs[i] = directory.New(i, s.eng, s.bus, cfg.Machine, cfg.Gating, policy, &s.counters)
+	}
+
+	s.procs = make([]*Processor, cfg.Machine.Processors)
+	ports := make([]directory.ProcessorPort, cfg.Machine.Processors)
+	for i := range s.procs {
+		l1 := cache.MustNew(geom, cache.Config{SizeBytes: cfg.Machine.L1SizeBytes, Ways: cfg.Machine.L1Ways})
+		s.procs[i] = newProcessor(i, s, l1, &trace.Threads[i])
+		ports[i] = s.procs[i]
+	}
+	for _, d := range s.dirs {
+		d.Attach(ports, s.scheduleTryGrant)
+	}
+	return s, nil
+}
+
+// Engine exposes the simulation engine (for tests).
+func (s *System) Engine() *sim.Engine { return s.eng }
+
+// Processors exposes the processor models (for tests).
+func (s *System) Processors() []*Processor { return s.procs }
+
+// Directories exposes the directory models (for tests).
+func (s *System) Directories() []*directory.Directory { return s.dirs }
+
+// Bus exposes the interconnect (for tests and stats).
+func (s *System) Bus() *bus.Bus { return s.bus }
+
+// Vendor exposes the token vendor (for tests).
+func (s *System) Vendor() *tokens.Vendor { return s.vendor }
+
+// SetRecorder attaches a protocol event recorder to the whole machine.
+// Call before Run.
+func (s *System) SetRecorder(r *trace.Recorder) {
+	s.rec = r
+	for _, d := range s.dirs {
+		d.SetRecorder(r)
+	}
+}
+
+// threadDone is called by a processor when it retires its last
+// transaction.
+func (s *System) threadDone() {
+	s.done++
+	if s.done == len(s.procs) {
+		s.endTime = s.eng.Now()
+		s.eng.Stop()
+	}
+}
+
+// scheduleTryGrant defers a grant evaluation to the end of the current
+// cycle (coalescing repeated requests within one event cascade).
+func (s *System) scheduleTryGrant() {
+	if s.tryGrantQueued {
+		return
+	}
+	s.tryGrantQueued = true
+	s.eng.ScheduleWithPriority(s.eng.Now(), 1, func() {
+		s.tryGrantQueued = false
+		s.tryGrant()
+	})
+}
+
+// tryGrant implements the Scalable-TCC commit serialization: a marked
+// committer starts writing once it heads the TID queue in every directory
+// its write-set touches and none of those directories is busy. Candidates
+// are examined oldest-TID first, so the globally oldest committer always
+// makes progress — the property that keeps commit deadlock-free.
+func (s *System) tryGrant() {
+	type cand struct {
+		p   *Processor
+		tid tokens.TID
+	}
+	var cands []cand
+	for _, p := range s.procs {
+		if p.state == stateCommitWait && len(p.commitDirs) > 0 {
+			cands = append(cands, cand{p, p.tid})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].tid < cands[j].tid })
+	granted := make(map[int]bool) // directories claimed in this pass
+	for _, c := range cands {
+		ok := true
+		for _, di := range c.p.commitDirs {
+			d := s.dirs[di]
+			head, has := d.Head()
+			if !has || head != c.p.id || d.Busy() || granted[di] {
+				ok = false
+				break
+			}
+		}
+		// Read-set probe: an older committer pending in any directory
+		// this transaction read from could still write the read-set, so
+		// the grant waits until every such committer has drained
+		// (Scalable TCC's validation ordering).
+		if ok {
+			for _, rd := range c.p.readDirs() {
+				if s.dirs[rd].HasOlderMark(c.tid, c.p.id) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			for _, di := range c.p.commitDirs {
+				granted[di] = true
+			}
+			c.p.grant()
+		}
+	}
+}
+
+// policyFor maps the configured policy kind onto a contention manager.
+// W0 parameterizes each policy so the ablation compares like for like.
+func policyFor(g config.Gating) cm.Policy {
+	switch g.Policy {
+	case config.PolicyExponential:
+		return cm.ExponentialBackoff{Base: g.W0, Max: g.W0 * 512}
+	case config.PolicyLinear:
+		return cm.LinearBackoff{Step: g.W0, Max: g.W0 * 512}
+	case config.PolicyFixed:
+		return fixedWindow{w: g.W0}
+	default:
+		return cm.GatingAware{W0: g.W0}
+	}
+}
+
+// fixedWindow gates for a constant W0 regardless of history.
+type fixedWindow struct{ w sim.Time }
+
+func (f fixedWindow) Window(_, _ int) sim.Time { return f.w }
+func (f fixedWindow) Name() string             { return fmt.Sprintf("fixed(%d)", f.w) }
+
+// Result summarizes one run.
+type Result struct {
+	// Cycles is the parallel-section execution time (N1 or N2).
+	Cycles sim.Time
+	// Ledger is the closed per-processor residency ledger.
+	Ledger *stats.Ledger
+	// Counters aggregates system-wide protocol events.
+	Counters stats.Counters
+	// PerProc holds each processor's statistics.
+	PerProc []ProcStats
+	// CachePerProc holds each L1's counters.
+	CachePerProc []cache.Stats
+	// BusStats holds interconnect counters.
+	BusStats bus.Stats
+	// DirStats holds each directory's counters.
+	DirStats []directory.Stats
+	// TraceName labels the workload.
+	TraceName string
+	// Gated records whether the gating protocol was enabled.
+	Gated bool
+}
+
+// Run executes the simulation to completion and returns the result. It
+// fails if the event queue drains before every thread finishes (a protocol
+// livelock — should be impossible and is asserted against in tests) or if
+// cfg.MaxCycles is exceeded.
+func (s *System) Run() (*Result, error) {
+	for _, p := range s.procs {
+		p.start()
+	}
+	limit := s.cfg.MaxCycles
+	if limit <= 0 {
+		limit = sim.MaxTime
+	}
+	s.eng.RunUntil(limit)
+	if s.done != len(s.procs) {
+		if s.eng.Now() >= limit {
+			return nil, fmt.Errorf("tcc: simulation exceeded MaxCycles=%d with %d/%d threads done",
+				limit, s.done, len(s.procs))
+		}
+		return nil, fmt.Errorf("tcc: event queue drained with %d/%d threads done (protocol livelock)",
+			s.done, len(s.procs))
+	}
+	s.ledger.Close(s.endTime)
+	res := &Result{
+		Cycles:       s.endTime,
+		Ledger:       s.ledger,
+		Counters:     s.counters,
+		PerProc:      make([]ProcStats, len(s.procs)),
+		CachePerProc: make([]cache.Stats, len(s.procs)),
+		BusStats:     s.bus.Stats(),
+		TraceName:    s.traceName,
+		Gated:        s.cfg.Gating.Enabled,
+	}
+	for i, p := range s.procs {
+		res.PerProc[i] = p.Stats()
+		res.CachePerProc[i] = p.CacheStats()
+	}
+	res.DirStats = make([]directory.Stats, len(s.dirs))
+	for i, d := range s.dirs {
+		res.DirStats[i] = d.Stats()
+	}
+	return res, nil
+}
+
+// sortedSet returns the keys of a line set in ascending order; commit
+// traffic must not depend on map iteration order.
+func sortedSet(set map[mem.LineAddr]struct{}) []mem.LineAddr {
+	out := make([]mem.LineAddr, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortInts(xs []int) { sort.Ints(xs) }

@@ -1,0 +1,70 @@
+// Package tokens implements the centralized token vendor of Scalable TCC.
+//
+// When a processor reaches its commit instruction it requests a token id
+// (TID) from the vendor. The TID is a global timestamp: when two committing
+// transactions conflict at a directory, the one holding the lower TID
+// commits first and the other waits. TIDs are never reused within a run.
+package tokens
+
+import "fmt"
+
+// TID is a transaction commit timestamp. Lower is older. TIDNone marks a
+// processor that holds no token.
+type TID uint64
+
+// TIDNone is the sentinel for "no token held".
+const TIDNone = TID(0)
+
+// Vendor hands out monotonically increasing TIDs and tracks which are
+// outstanding (issued but not yet released by commit or abort).
+type Vendor struct {
+	next        TID
+	outstanding map[TID]int // TID -> processor id
+	issued      uint64
+	released    uint64
+}
+
+// NewVendor returns a vendor whose first TID is 1 (0 is TIDNone).
+func NewVendor() *Vendor {
+	return &Vendor{next: 1, outstanding: make(map[TID]int)}
+}
+
+// Acquire issues the next TID to processor proc.
+func (v *Vendor) Acquire(proc int) TID {
+	t := v.next
+	v.next++
+	v.outstanding[t] = proc
+	v.issued++
+	return t
+}
+
+// Release returns a TID after the transaction commits or aborts. Releasing
+// a TID that is not outstanding panics — it indicates a protocol bug.
+func (v *Vendor) Release(t TID) {
+	if t == TIDNone {
+		panic("tokens: release of TIDNone")
+	}
+	if _, ok := v.outstanding[t]; !ok {
+		panic(fmt.Sprintf("tokens: release of non-outstanding TID %d", t))
+	}
+	delete(v.outstanding, t)
+	v.released++
+}
+
+// Outstanding returns the number of TIDs issued and not yet released.
+func (v *Vendor) Outstanding() int { return len(v.outstanding) }
+
+// Holder returns the processor holding TID t, or -1 if t is not
+// outstanding.
+func (v *Vendor) Holder(t TID) int {
+	if p, ok := v.outstanding[t]; ok {
+		return p
+	}
+	return -1
+}
+
+// Issued returns the total number of TIDs ever issued.
+func (v *Vendor) Issued() uint64 { return v.issued }
+
+// Released returns the total number of TIDs ever released.
+func (v *Vendor) Released() uint64 { return v.released }

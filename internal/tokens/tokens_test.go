@@ -1,0 +1,105 @@
+package tokens
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTIDsMonotonicallyIncrease(t *testing.T) {
+	v := NewVendor()
+	var last TID
+	for i := 0; i < 100; i++ {
+		tid := v.Acquire(i % 4)
+		if tid <= last {
+			t.Fatalf("TID %d not above previous %d", tid, last)
+		}
+		last = tid
+	}
+}
+
+func TestFirstTIDIsNotNone(t *testing.T) {
+	v := NewVendor()
+	if v.Acquire(0) == TIDNone {
+		t.Fatal("first TID equals TIDNone")
+	}
+}
+
+func TestOutstandingAndHolder(t *testing.T) {
+	v := NewVendor()
+	a := v.Acquire(3)
+	b := v.Acquire(5)
+	if v.Outstanding() != 2 {
+		t.Fatalf("outstanding %d, want 2", v.Outstanding())
+	}
+	if v.Holder(a) != 3 || v.Holder(b) != 5 {
+		t.Fatal("holder mismatch")
+	}
+	v.Release(a)
+	if v.Outstanding() != 1 {
+		t.Fatalf("outstanding %d after release", v.Outstanding())
+	}
+	if v.Holder(a) != -1 {
+		t.Fatal("released TID still has holder")
+	}
+}
+
+func TestIssuedReleasedCounters(t *testing.T) {
+	v := NewVendor()
+	x := v.Acquire(0)
+	y := v.Acquire(1)
+	v.Release(x)
+	v.Release(y)
+	if v.Issued() != 2 || v.Released() != 2 {
+		t.Fatalf("issued=%d released=%d", v.Issued(), v.Released())
+	}
+}
+
+func TestReleaseNonOutstandingPanics(t *testing.T) {
+	v := NewVendor()
+	tid := v.Acquire(0)
+	v.Release(tid)
+	defer func() {
+		if recover() == nil {
+			t.Error("double release did not panic")
+		}
+	}()
+	v.Release(tid)
+}
+
+func TestReleaseTIDNonePanics(t *testing.T) {
+	v := NewVendor()
+	defer func() {
+		if recover() == nil {
+			t.Error("release of TIDNone did not panic")
+		}
+	}()
+	v.Release(TIDNone)
+}
+
+// Property: acquire/release in any order keeps the books balanced and
+// never reuses a TID.
+func TestQuickNoReuse(t *testing.T) {
+	f := func(pattern []bool) bool {
+		v := NewVendor()
+		seen := map[TID]bool{}
+		var live []TID
+		for _, acquire := range pattern {
+			if acquire || len(live) == 0 {
+				tid := v.Acquire(0)
+				if seen[tid] {
+					return false
+				}
+				seen[tid] = true
+				live = append(live, tid)
+			} else {
+				v.Release(live[len(live)-1])
+				live = live[:len(live)-1]
+			}
+		}
+		return v.Outstanding() == len(live) &&
+			v.Issued()-v.Released() == uint64(len(live))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Kind: EvCommit})
+	if r.Len() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder retained something")
+	}
+	if len(r.CountByKind()) != 0 || r.OfProc(0) != nil {
+		t.Fatal("nil recorder queries not empty")
+	}
+	if err := r.Dump(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordAndQuery(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Event{At: 1, Kind: EvTxBegin, Proc: 0, TxPC: 0x40})
+	r.Record(Event{At: 5, Kind: EvAbort, Proc: 0, Other: 1, Dir: 2, Line: 7})
+	r.Record(Event{At: 9, Kind: EvCommit, Proc: 1, TxPC: 0x41})
+	if r.Len() != 3 {
+		t.Fatalf("len %d", r.Len())
+	}
+	counts := r.CountByKind()
+	if counts[EvTxBegin] != 1 || counts[EvAbort] != 1 || counts[EvCommit] != 1 {
+		t.Fatalf("counts %v", counts)
+	}
+	p0 := r.OfProc(0)
+	if len(p0) != 2 {
+		t.Fatalf("proc 0 events %v", p0)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	r := NewRecorder().Filter(EvGate, EvUngate)
+	r.Record(Event{Kind: EvCommit})
+	r.Record(Event{Kind: EvGate})
+	r.Record(Event{Kind: EvUngate})
+	if r.Len() != 2 {
+		t.Fatalf("filter kept %d events", r.Len())
+	}
+}
+
+func TestLimit(t *testing.T) {
+	r := NewRecorder().Limit(2)
+	for i := 0; i < 5; i++ {
+		r.Record(Event{At: sim.Time(i), Kind: EvCommit})
+	}
+	if r.Len() != 2 {
+		t.Fatalf("limit kept %d", r.Len())
+	}
+	if r.Events()[0].At != 0 || r.Events()[1].At != 1 {
+		t.Fatal("limit did not keep the oldest")
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	events := []Event{
+		{At: 1, Kind: EvTxBegin, Proc: 2, TxPC: 0x40},
+		{At: 2, Kind: EvCommit, Proc: 2, TxPC: 0x40},
+		{At: 3, Kind: EvAbort, Proc: 2, Other: 1, Dir: 0, Line: 9},
+		{At: 4, Kind: EvValidationAbort, Proc: 2, TxPC: 0x40},
+		{At: 5, Kind: EvGate, Proc: 2, Dir: 0, Other: 1},
+		{At: 6, Kind: EvRenew, Proc: 2, Dir: 0, Other: 1},
+		{At: 7, Kind: EvUngate, Proc: 2, Dir: 0, Other: 1},
+		{At: 8, Kind: EvSelfAbort, Proc: 2, TxPC: 0x40},
+		{At: 9, Kind: EvInvalidate, Proc: 2, Other: 1, Dir: 0, Line: 9},
+	}
+	for _, e := range events {
+		s := e.String()
+		if !strings.Contains(s, e.Kind.String()) {
+			t.Errorf("event string %q missing kind %q", s, e.Kind)
+		}
+		if !strings.Contains(s, "proc=2") {
+			t.Errorf("event string %q missing proc", s)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{EvTxBegin, EvCommit, EvAbort, EvValidationAbort,
+		EvGate, EvRenew, EvUngate, EvSelfAbort, EvInvalidate}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("kind %d has bad/duplicate string %q", k, s)
+		}
+		seen[s] = true
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind empty")
+	}
+}
+
+func TestDump(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Event{At: 1, Kind: EvCommit, Proc: 0})
+	r.Record(Event{At: 2, Kind: EvGate, Proc: 1})
+	var b strings.Builder
+	if err := r.Dump(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("dump produced %d lines", len(lines))
+	}
+}

@@ -1,0 +1,195 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/mem"
+)
+
+// Binary trace format:
+//
+//	magic   [8]byte  "CGTRACE1"
+//	nameLen uint32, name bytes
+//	threads uint32
+//	per thread:
+//	  txs uint32
+//	  per tx: interTx int32, pc uint64, ops uint32,
+//	          per op: kind uint8, then line uint64 (read/write)
+//	                  or cycles int32 (compute)
+//
+// All integers are little-endian. The format exists so generated
+// workloads can be archived and replayed bit-identically across machines.
+
+var traceMagic = [8]byte{'C', 'G', 'T', 'R', 'A', 'C', 'E', '1'}
+
+// Encode writes the trace to w in the binary trace format.
+func Encode(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	writeU32 := func(v uint32) error {
+		var buf [4]byte
+		le.PutUint32(buf[:], v)
+		_, err := bw.Write(buf[:])
+		return err
+	}
+	writeU64 := func(v uint64) error {
+		var buf [8]byte
+		le.PutUint64(buf[:], v)
+		_, err := bw.Write(buf[:])
+		return err
+	}
+	if err := writeU32(uint32(len(tr.Name))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(tr.Name); err != nil {
+		return err
+	}
+	if err := writeU32(uint32(len(tr.Threads))); err != nil {
+		return err
+	}
+	for ti := range tr.Threads {
+		th := &tr.Threads[ti]
+		if len(th.InterTx) != len(th.Txs) {
+			return fmt.Errorf("workload: encode: thread %d inconsistent InterTx", ti)
+		}
+		if err := writeU32(uint32(len(th.Txs))); err != nil {
+			return err
+		}
+		for xi := range th.Txs {
+			tx := &th.Txs[xi]
+			if err := writeU32(uint32(th.InterTx[xi])); err != nil {
+				return err
+			}
+			if err := writeU64(tx.PC); err != nil {
+				return err
+			}
+			if err := writeU32(uint32(len(tx.Ops))); err != nil {
+				return err
+			}
+			for _, op := range tx.Ops {
+				if err := bw.WriteByte(byte(op.Kind)); err != nil {
+					return err
+				}
+				switch op.Kind {
+				case OpRead, OpWrite:
+					if err := writeU64(uint64(op.Line)); err != nil {
+						return err
+					}
+				case OpCompute:
+					if err := writeU32(uint32(op.Cycles)); err != nil {
+						return err
+					}
+				default:
+					return fmt.Errorf("workload: encode: bad op kind %d", op.Kind)
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a trace in the binary trace format.
+func Decode(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("workload: decode magic: %w", err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("workload: bad trace magic %q", magic)
+	}
+	le := binary.LittleEndian
+	readU32 := func() (uint32, error) {
+		var buf [4]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		return le.Uint32(buf[:]), nil
+	}
+	readU64 := func() (uint64, error) {
+		var buf [8]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		return le.Uint64(buf[:]), nil
+	}
+	nameLen, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("workload: decode name length: %w", err)
+	}
+	const maxName = 1 << 16
+	if nameLen > maxName {
+		return nil, fmt.Errorf("workload: name length %d exceeds limit", nameLen)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBuf); err != nil {
+		return nil, fmt.Errorf("workload: decode name: %w", err)
+	}
+	nThreads, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("workload: decode thread count: %w", err)
+	}
+	const maxThreads = 1 << 16
+	if nThreads == 0 || nThreads > maxThreads {
+		return nil, fmt.Errorf("workload: thread count %d out of range", nThreads)
+	}
+	tr := &Trace{Name: string(nameBuf), Threads: make([]Thread, nThreads)}
+	for ti := range tr.Threads {
+		nTxs, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("workload: decode thread %d: %w", ti, err)
+		}
+		th := &tr.Threads[ti]
+		th.Txs = make([]Transaction, nTxs)
+		th.InterTx = make([]int32, nTxs)
+		for xi := range th.Txs {
+			inter, err := readU32()
+			if err != nil {
+				return nil, fmt.Errorf("workload: decode tx header: %w", err)
+			}
+			th.InterTx[xi] = int32(inter)
+			pc, err := readU64()
+			if err != nil {
+				return nil, fmt.Errorf("workload: decode tx pc: %w", err)
+			}
+			nOps, err := readU32()
+			if err != nil {
+				return nil, fmt.Errorf("workload: decode op count: %w", err)
+			}
+			tx := &th.Txs[xi]
+			tx.PC = pc
+			tx.Ops = make([]Op, nOps)
+			for oi := range tx.Ops {
+				kind, err := br.ReadByte()
+				if err != nil {
+					return nil, fmt.Errorf("workload: decode op kind: %w", err)
+				}
+				op := &tx.Ops[oi]
+				op.Kind = OpKind(kind)
+				switch op.Kind {
+				case OpRead, OpWrite:
+					line, err := readU64()
+					if err != nil {
+						return nil, fmt.Errorf("workload: decode op line: %w", err)
+					}
+					op.Line = mem.LineAddr(line)
+				case OpCompute:
+					cy, err := readU32()
+					if err != nil {
+						return nil, fmt.Errorf("workload: decode op cycles: %w", err)
+					}
+					op.Cycles = int32(cy)
+				default:
+					return nil, fmt.Errorf("workload: decode: bad op kind %d", kind)
+				}
+			}
+		}
+	}
+	return tr, nil
+}

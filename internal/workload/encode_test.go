@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := validSpec()
+	tr, err := s.Generate(4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name {
+		t.Fatalf("name %q, want %q", got.Name, tr.Name)
+	}
+	if !reflect.DeepEqual(got.Threads, tr.Threads) {
+		t.Fatal("threads not preserved by round trip")
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	_, err := Decode(strings.NewReader("NOTATRACE-------"))
+	if err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	s := validSpec()
+	tr, _ := s.Generate(2, 1)
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every strict prefix must fail cleanly, never panic.
+	for _, cut := range []int{0, 4, 8, 12, 20, len(full) / 2, len(full) - 1} {
+		if cut >= len(full) {
+			continue
+		}
+		if _, err := Decode(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestDecodeRejectsAbsurdCounts(t *testing.T) {
+	// magic + huge name length
+	var buf bytes.Buffer
+	buf.WriteString("CGTRACE1")
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := Decode(&buf); err == nil {
+		t.Fatal("absurd name length accepted")
+	}
+}
+
+func TestEncodeRejectsInconsistentThread(t *testing.T) {
+	tr := &Trace{Name: "bad", Threads: []Thread{{
+		Txs:     []Transaction{{PC: 1, Ops: []Op{{Kind: OpRead, Line: 1}}}},
+		InterTx: nil, // length mismatch
+	}}}
+	if err := Encode(io.Discard, tr); err == nil {
+		t.Fatal("inconsistent thread encoded")
+	}
+}
+
+func TestEncodeRejectsBadOpKind(t *testing.T) {
+	tr := &Trace{Name: "bad", Threads: []Thread{{
+		Txs:     []Transaction{{PC: 1, Ops: []Op{{Kind: 77}}}},
+		InterTx: []int32{1},
+	}}}
+	if err := Encode(io.Discard, tr); err == nil {
+		t.Fatal("bad op kind encoded")
+	}
+}
+
+// Property: random hand-built traces survive the round trip bit-exactly.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed uint64, nThreads, nTxs uint8) bool {
+		rng := sim.NewRNG(seed, 3)
+		threads := int(nThreads%4) + 1
+		txs := int(nTxs%8) + 1
+		tr := &Trace{Name: "q"}
+		for i := 0; i < threads; i++ {
+			th := Thread{}
+			for x := 0; x < txs; x++ {
+				tx := Transaction{PC: rng.Uint64()}
+				for o := 0; o < rng.Intn(6)+1; o++ {
+					switch rng.Intn(3) {
+					case 0:
+						tx.Ops = append(tx.Ops, Op{Kind: OpRead, Line: mem.LineAddr(rng.Intn(1 << 20))})
+					case 1:
+						tx.Ops = append(tx.Ops, Op{Kind: OpWrite, Line: mem.LineAddr(rng.Intn(1 << 20))})
+					default:
+						tx.Ops = append(tx.Ops, Op{Kind: OpCompute, Cycles: int32(rng.Intn(100) + 1)})
+					}
+				}
+				th.Txs = append(th.Txs, tx)
+				th.InterTx = append(th.InterTx, int32(rng.Intn(50)))
+			}
+			tr.Threads = append(tr.Threads, th)
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, tr); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got.Threads, tr.Threads) && got.Name == tr.Name
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
