@@ -14,6 +14,7 @@ package clockgate
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/cacti"
@@ -234,6 +235,37 @@ func BenchmarkAblationW0(b *testing.B) {
 			b.ReportMetric(cmp.EnergyRatio, "energy-ratio")
 		})
 	}
+}
+
+// benchCampaign runs the paper campaign end-to-end on the given worker
+// count and reports the headline energy reduction, so the parallel and
+// sequential engines are checked to produce the same science while their
+// wall-clock is compared.
+func benchCampaign(b *testing.B, workers int) {
+	o := benchOptions()
+	o.Workers = workers
+	var s experiments.Summary
+	for i := 0; i < b.N; i++ {
+		c, err := experiments.Run(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s = c.Summarize()
+	}
+	b.ReportMetric(s.AvgEnergyReduction*100, "energy-reduction-pct")
+}
+
+// BenchmarkCampaignSequential is the full paired-run matrix on one
+// goroutine — the baseline the parallel engine is measured against.
+func BenchmarkCampaignSequential(b *testing.B) {
+	benchCampaign(b, 1)
+}
+
+// BenchmarkCampaignParallel is the same campaign with one worker per
+// core. Comparing ns/op against BenchmarkCampaignSequential measures the
+// engine's actual speed-up rather than asserting it.
+func BenchmarkCampaignParallel(b *testing.B) {
+	benchCampaign(b, runtime.GOMAXPROCS(0))
 }
 
 // BenchmarkSimulatorThroughput tracks raw simulator performance: events

@@ -26,6 +26,23 @@
 //		Seed:       42,
 //	})
 //	fmt.Println(out.SpeedUp(), out.EnergyReductionFactor())
+//
+// Above single experiments sits the campaign API: a campaign is the
+// paper's full paired-run matrix, split into independent run-cells and
+// executed across a worker pool. Results merge in canonical cell order,
+// so sequential and parallel campaigns are byte-identical:
+//
+//	opts := clockgate.DefaultCampaignOptions()
+//	opts.Workers = runtime.GOMAXPROCS(0)
+//	campaign, err := clockgate.RunCampaign(opts)
+//	fmt.Println(campaign.SummaryText())
+//
+// Beyond the paper's grid, the scenario matrix names every runnable case
+// — each STAMP preset at 1–32 processors, several gating windows and
+// contention levels — as addressable case IDs (see docs/E2E.md):
+//
+//	sc, _ := clockgate.ScenarioByID("M00042")
+//	campaign, err := clockgate.RunScenarios(opts, []clockgate.Scenario{sc})
 package clockgate
 
 import (
@@ -33,6 +50,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/stamp"
@@ -180,6 +198,18 @@ func GenerateTrace(app App, threads int, seed uint64) (*Trace, error) {
 	return stamp.Generate(app, threads, seed)
 }
 
+// GenerateTraceScaled is GenerateTrace with the preset's transaction
+// count multiplied by scale (floored at threads) — the same sizing rule
+// campaign Options.Scale applies, so single experiments can reproduce a
+// campaign cell's workload exactly.
+func GenerateTraceScaled(app App, threads int, seed uint64, scale float64) (*Trace, error) {
+	spec, err := experiments.ScaledSpec(app, threads, scale)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Generate(threads, seed)
+}
+
 // EventRecorder captures structured protocol events (commits, aborts,
 // gatings, renewals, wake-ups) from a run.
 type EventRecorder = trace.Recorder
@@ -202,6 +232,70 @@ const (
 
 // NewEventRecorder returns an empty recorder for RunSingleWithEvents.
 func NewEventRecorder() *EventRecorder { return trace.NewRecorder() }
+
+// CampaignOptions configures a campaign: the workload seed and scale,
+// the app/processor grid, the worker-pool width (Workers), per-cell seed
+// derivation (DeriveSeeds), and multi-machine sharding (Shard).
+type CampaignOptions = experiments.Options
+
+// Campaign holds the outcomes of a paired-run campaign and renders the
+// paper's figures, tables, summary and CSV from them.
+type Campaign = experiments.Campaign
+
+// CampaignSummary is the campaign's headline aggregate (average speed-up,
+// energy and power reductions, slowdown count).
+type CampaignSummary = experiments.Summary
+
+// Shard selects one contiguous 1/Count slice of a campaign's cells for
+// multi-machine splits; shard CSV outputs concatenate into the unsharded
+// output.
+type Shard = experiments.Shard
+
+// Cell is one independently runnable unit of a campaign.
+type Cell = experiments.Cell
+
+// DefaultCampaignOptions returns the paper's campaign: genome/yada/
+// intruder on 4/8/16 processors with W0 = 8 and seed 42, run
+// sequentially.
+func DefaultCampaignOptions() CampaignOptions { return experiments.DefaultOptions() }
+
+// RunCampaign executes the campaign's run-cells across
+// CampaignOptions.Workers goroutines and merges outcomes in canonical
+// cell order. For the same options, every worker count — and any
+// sharding — produces identical results.
+func RunCampaign(o CampaignOptions) (*Campaign, error) { return experiments.Run(o) }
+
+// Scenario is one named, addressable case of the scenario matrix.
+type Scenario = experiments.Scenario
+
+// Contention is a workload conflict-intensity level of the scenario
+// matrix.
+type Contention = experiments.Contention
+
+// The scenario matrix's contention levels.
+const (
+	ContentionLow  = experiments.ContentionLow
+	ContentionBase = experiments.ContentionBase
+	ContentionHigh = experiments.ContentionHigh
+)
+
+// ScenarioMatrix returns every scenario the engine can run, in canonical
+// order; docs/E2E.md is generated from this list.
+func ScenarioMatrix() []Scenario { return experiments.Matrix() }
+
+// ScenarioByID resolves a case id such as "M00042".
+func ScenarioByID(id string) (Scenario, bool) { return experiments.ScenarioByID(id) }
+
+// ScenarioByName resolves a scenario address such as "genome/8p/W0=8/base".
+func ScenarioByName(name string) (Scenario, bool) { return experiments.ScenarioByName(name) }
+
+// RunScenarios executes the given scenario-matrix cases as one campaign
+// on the worker pool. Each scenario's workload seed derives from the
+// campaign seed and the scenario's matrix ordinal, so a case reproduces
+// identically whether run alone, in a subset, or in a shard.
+func RunScenarios(o CampaignOptions, scenarios []Scenario) (*Campaign, error) {
+	return experiments.RunScenarios(o, scenarios)
+}
 
 // RunSingleWithEvents executes one configuration with a protocol event
 // recorder attached.

@@ -152,6 +152,53 @@ func TestRunSingleWithEvents(t *testing.T) {
 	}
 }
 
+func TestCampaignAPI(t *testing.T) {
+	opts := DefaultCampaignOptions()
+	opts.Scale = 0.02
+	opts.Processors = []int{2, 4}
+	opts.Workers = 4
+	c, err := RunCampaign(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Outcomes) != 6 { // 3 paper apps x 2 processor counts
+		t.Fatalf("%d outcomes", len(c.Outcomes))
+	}
+	s := c.Summarize()
+	if s.AvgSpeedUp <= 0 {
+		t.Fatalf("summary %+v", s)
+	}
+
+	// Sharding through the public API: both halves together cover the
+	// campaign.
+	var n int
+	for i := 0; i < 2; i++ {
+		opts.Shard = Shard{Index: i, Count: 2}
+		half, err := RunCampaign(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n += len(half.Outcomes)
+	}
+	if n != len(c.Outcomes) {
+		t.Fatalf("shards cover %d of %d cells", n, len(c.Outcomes))
+	}
+}
+
+func TestScenarioMatrixAPI(t *testing.T) {
+	m := ScenarioMatrix()
+	if len(m) == 0 {
+		t.Fatal("empty scenario matrix")
+	}
+	s, ok := ScenarioByID(m[0].ID)
+	if !ok || s != m[0] {
+		t.Fatalf("ScenarioByID(%q) = %+v, %v", m[0].ID, s, ok)
+	}
+	if _, ok := ScenarioByName(m[0].Name()); !ok {
+		t.Fatalf("ScenarioByName(%q) failed", m[0].Name())
+	}
+}
+
 func TestEventRecorderFilterViaPublicAPI(t *testing.T) {
 	rec := NewEventRecorder().Filter(EvGate)
 	_, err := RunSingleWithEvents(Experiment{

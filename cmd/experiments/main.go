@@ -1,39 +1,54 @@
 // Command experiments regenerates every table and figure of the paper's
-// evaluation section.
+// evaluation section, and runs scenario-matrix campaigns beyond it.
 //
 // Usage:
 //
-//	experiments -all               # everything (Tables I-II, Figures 3-7, summary)
-//	experiments -table1 -fig5      # selected artifacts
-//	experiments -all -scale 0.25   # quick quarter-size campaign
+//	experiments -all                    # everything (Tables I-II, Figures 3-7, summary)
+//	experiments -table1 -fig5           # selected artifacts
+//	experiments -all -scale 0.25        # quick quarter-size campaign
+//	experiments -all -workers 8         # same output, 8 cells in flight
+//	experiments -summary -shard 0/3 -csv part0.csv   # 1/3 of the campaign;
+//	    # concatenating part0..part2 reproduces the unsharded CSV exactly
+//	experiments -matrix-list            # list every scenario-matrix case
+//	experiments -matrix M00042,M00049 -detail        # run cases by id
+//	experiments -matrix done -detail    # run every case the E2E table executes
+//	experiments -e2e-doc > docs/E2E.md  # regenerate the E2E case table
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 
 	"repro/internal/experiments"
 )
 
 func main() {
 	var (
-		all      = flag.Bool("all", false, "regenerate everything")
-		table1   = flag.Bool("table1", false, "Table I: power model")
-		table2   = flag.Bool("table2", false, "Table II: simulation parameters")
-		fig3     = flag.Bool("fig3", false, "Figure 3: TCC data cache power")
-		fig4     = flag.Bool("fig4", false, "Figure 4: parallel execution time")
-		fig5     = flag.Bool("fig5", false, "Figure 5: energy consumption")
-		fig6     = flag.Bool("fig6", false, "Figure 6: average power dissipation")
-		fig7     = flag.Bool("fig7", false, "Figure 7: speed-up vs W0 and Np")
-		summary  = flag.Bool("summary", false, "headline summary vs the paper")
-		detail   = flag.Bool("detail", false, "per-configuration detail table")
-		ablation = flag.Bool("ablations", false, "policy / renewal / SRPG ablation tables")
-		extended = flag.Bool("extended", false, "run the five extension presets too")
-		seeds    = flag.Int("seeds", 0, "re-run the campaign across N seeds and report spread")
-		csvPath  = flag.String("csv", "", "also write per-configuration results to this CSV file")
-		seed     = flag.Uint64("seed", 42, "workload generation seed")
-		scale    = flag.Float64("scale", 1.0, "workload size multiplier")
+		all        = flag.Bool("all", false, "regenerate everything")
+		table1     = flag.Bool("table1", false, "Table I: power model")
+		table2     = flag.Bool("table2", false, "Table II: simulation parameters")
+		fig3       = flag.Bool("fig3", false, "Figure 3: TCC data cache power")
+		fig4       = flag.Bool("fig4", false, "Figure 4: parallel execution time")
+		fig5       = flag.Bool("fig5", false, "Figure 5: energy consumption")
+		fig6       = flag.Bool("fig6", false, "Figure 6: average power dissipation")
+		fig7       = flag.Bool("fig7", false, "Figure 7: speed-up vs W0 and Np")
+		summary    = flag.Bool("summary", false, "headline summary vs the paper")
+		detail     = flag.Bool("detail", false, "per-configuration detail table")
+		ablation   = flag.Bool("ablations", false, "policy / renewal / SRPG ablation tables")
+		extended   = flag.Bool("extended", false, "run the five extension presets too")
+		seeds      = flag.Int("seeds", 0, "re-run the campaign across N seeds and report spread")
+		csvPath    = flag.String("csv", "", "also write per-configuration results to this CSV file")
+		seed       = flag.Uint64("seed", 42, "workload generation seed")
+		scale      = flag.Float64("scale", 1.0, "workload size multiplier")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "campaign worker goroutines (1 = sequential; output is identical either way)")
+		shardSpec  = flag.String("shard", "", "run only shard i of n campaign cells, as \"i/n\"; shard CSVs concatenate cleanly (only shard 0 writes the header)")
+		matrix     = flag.String("matrix", "", "run scenario-matrix cases: comma-separated ids/names, \"done\", or \"all\"")
+		matrixList = flag.Bool("matrix-list", false, "list every scenario-matrix case")
+		e2eDoc     = flag.Bool("e2e-doc", false, "print the generated docs/E2E.md")
 	)
 	flag.Parse()
 
@@ -42,14 +57,80 @@ func main() {
 		*summary, *detail = true, true
 	}
 	if !(*table1 || *table2 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 ||
-		*summary || *detail || *ablation || *extended || *seeds > 0 || *csvPath != "") {
+		*summary || *detail || *ablation || *extended || *seeds > 0 || *csvPath != "" ||
+		*matrix != "" || *matrixList || *e2eDoc) {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *e2eDoc {
+		fmt.Print(experiments.E2EDoc())
+		return
+	}
+	if *matrixList {
+		fmt.Println(experiments.MatrixTable())
+		return
 	}
 
 	opts := experiments.DefaultOptions()
 	opts.Seed = *seed
 	opts.Scale = *scale
+	opts.Workers = *workers
+
+	shard, err := parseShard(*shardSpec)
+	if err != nil {
+		fatal(err)
+	}
+	opts.Shard = shard
+
+	writeCSV := func(c *experiments.Campaign) {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		// Only shard 0 (or an unsharded run) writes the header, so
+		// concatenated shard files parse as one CSV.
+		if shard.Index == 0 {
+			err = c.WriteCSV(f)
+		} else {
+			err = c.AppendCSV(f)
+		}
+		if err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *csvPath)
+	}
+
+	if *matrix != "" {
+		// A matrix run replaces the paper campaign; combining it with
+		// figure/table artifacts would silently drop them, so refuse.
+		if *table1 || *table2 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 ||
+			*ablation || *extended || *seeds > 0 {
+			fatal(fmt.Errorf("-matrix combines only with -detail/-summary/-csv/-workers/-shard/-seed/-scale; run figures and tables separately"))
+		}
+		scenarios, err := selectScenarios(*matrix)
+		if err != nil {
+			fatal(err)
+		}
+		campaign, err := experiments.RunScenarios(opts, scenarios)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Scenario matrix campaign (%d of %d selected cases):\n",
+			len(campaign.Outcomes), len(scenarios))
+		fmt.Println(campaign.DetailTable())
+		if *summary {
+			fmt.Println(campaign.SummaryText())
+		}
+		if *csvPath != "" {
+			writeCSV(campaign)
+		}
+		return
+	}
 
 	if *table1 {
 		fmt.Println(experiments.TableI())
@@ -83,27 +164,23 @@ func main() {
 			fmt.Println(campaign.SummaryText())
 		}
 		if *csvPath != "" {
-			f, err := os.Create(*csvPath)
-			if err != nil {
-				fatal(err)
-			}
-			if err := campaign.WriteCSV(f); err != nil {
-				f.Close()
-				fatal(err)
-			}
-			if err := f.Close(); err != nil {
-				fatal(err)
-			}
-			fmt.Printf("wrote %s\n", *csvPath)
+			writeCSV(campaign)
 		}
 	}
 
 	if *fig7 {
-		out, err := experiments.Fig7(opts)
-		if err != nil {
-			fatal(err)
+		// The W0 sweep aggregates every (app, Np, W0) point into one
+		// figure, so it cannot be split across shards; running it on
+		// every shard would waste the wall-clock sharding buys.
+		if shard.Count != 0 {
+			fmt.Println("Figure 7 skipped in shard mode (the W0 sweep is one indivisible figure); run -fig7 unsharded")
+		} else {
+			out, err := experiments.Fig7(opts)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(out)
 		}
-		fmt.Println(out)
 	}
 
 	if *ablation {
@@ -135,6 +212,56 @@ func main() {
 		}
 		fmt.Println(ms.Render())
 	}
+}
+
+// parseShard parses "-shard i/n" into a Shard; "" means unsharded.
+func parseShard(s string) (experiments.Shard, error) {
+	if s == "" {
+		return experiments.Shard{}, nil
+	}
+	idx, count, ok := strings.Cut(s, "/")
+	var sh experiments.Shard
+	var err error
+	if sh.Index, err = strconv.Atoi(idx); ok && err == nil {
+		sh.Count, err = strconv.Atoi(count)
+	}
+	if !ok || err != nil {
+		return experiments.Shard{}, fmt.Errorf("bad -shard %q (want \"i/n\", e.g. 0/3)", s)
+	}
+	if err := sh.Validate(); err != nil {
+		return experiments.Shard{}, err
+	}
+	return sh, nil
+}
+
+// selectScenarios resolves the -matrix argument: "all", "done", or a
+// comma-separated list of case ids / scenario names.
+func selectScenarios(arg string) ([]experiments.Scenario, error) {
+	switch arg {
+	case "all":
+		return experiments.Matrix(), nil
+	case "done":
+		return experiments.DoneScenarios(), nil
+	}
+	var out []experiments.Scenario
+	for _, tok := range strings.Split(arg, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		s, ok := experiments.ScenarioByID(tok)
+		if !ok {
+			s, ok = experiments.ScenarioByName(tok)
+		}
+		if !ok {
+			return nil, fmt.Errorf("unknown scenario %q (try -matrix-list)", tok)
+		}
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no scenarios selected")
+	}
+	return out, nil
 }
 
 func fatal(err error) {

@@ -4,29 +4,53 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+
+	"repro/internal/sim"
 )
 
+// csvHeader is the per-configuration CSV schema. The trailing cell
+// columns (w0, contention, seed, case) make sharded and matrix campaigns
+// self-describing: a row identifies its scenario without the Options
+// that produced it.
+var csvHeader = []string{
+	"app", "processors", "n1_cycles", "n2_cycles", "speedup",
+	"eug", "eg", "energy_ratio", "power_ratio",
+	"energy_savings_pct", "power_savings_pct",
+	"aborts_ungated", "aborts_gated", "validation_aborts_gated",
+	"gatings", "renewals", "ungates", "self_aborts",
+	"commits", "invalidations",
+	"w0", "contention", "seed", "case",
+}
+
 // WriteCSV exports the campaign's per-configuration metrics as CSV for
-// external plotting, one row per (app, processor-count) pair.
+// external plotting, one row per run-cell, header included.
 func (c *Campaign) WriteCSV(w io.Writer) error {
+	return c.writeCSV(w, true)
+}
+
+// AppendCSV writes the rows only. A sharded campaign writes its CSV with
+// WriteCSV on shard 0 and AppendCSV on the rest, so the per-shard files
+// concatenate into exactly the unsharded WriteCSV output.
+func (c *Campaign) AppendCSV(w io.Writer) error {
+	return c.writeCSV(w, false)
+}
+
+func (c *Campaign) writeCSV(w io.Writer, header bool) error {
 	cw := csv.NewWriter(w)
-	header := []string{
-		"app", "processors", "n1_cycles", "n2_cycles", "speedup",
-		"eug", "eg", "energy_ratio", "power_ratio",
-		"energy_savings_pct", "power_savings_pct",
-		"aborts_ungated", "aborts_gated", "validation_aborts_gated",
-		"gatings", "renewals", "ungates", "self_aborts",
-		"commits", "invalidations",
+	if header {
+		if err := cw.Write(csvHeader); err != nil {
+			return err
+		}
 	}
-	if err := cw.Write(header); err != nil {
-		return err
-	}
-	for _, o := range c.Outcomes {
+	for i, o := range c.Outcomes {
 		cmp := o.Comparison
 		ug, g := o.Ungated.Counters, o.Gated.Counters
+		// Cells is always index-aligned with Outcomes; a panic here
+		// means a campaign constructor broke that invariant.
+		cell := c.Cells[i]
 		row := []string{
-			string(o.Spec.App),
-			fmt.Sprintf("%d", o.Spec.Processors),
+			string(cell.App),
+			fmt.Sprintf("%d", cell.Processors),
 			fmt.Sprintf("%d", cmp.N1),
 			fmt.Sprintf("%d", cmp.N2),
 			fmt.Sprintf("%.6f", cmp.SpeedUp),
@@ -45,6 +69,10 @@ func (c *Campaign) WriteCSV(w io.Writer) error {
 			fmt.Sprintf("%d", g.SelfAborts),
 			fmt.Sprintf("%d", g.Commits),
 			fmt.Sprintf("%d", g.Invalidations),
+			fmt.Sprintf("%d", cell.effectiveW0()),
+			string(cell.contentionOrBase()),
+			fmt.Sprintf("%d", cell.Seed),
+			cell.ID,
 		}
 		if err := cw.Write(row); err != nil {
 			return err
@@ -52,4 +80,22 @@ func (c *Campaign) WriteCSV(w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// effectiveW0 resolves the W0=0 sentinel to the window the run actually
+// used (config.Default's 8), so CSV rows are self-describing: the same
+// configuration gets the same w0 value whether W0 was spelled out or
+// defaulted.
+func (c Cell) effectiveW0() sim.Time {
+	if c.W0 == 0 {
+		return matrixDefaultW0
+	}
+	return c.W0
+}
+
+func (c Cell) contentionOrBase() Contention {
+	if c.Contention == "" {
+		return ContentionBase
+	}
+	return c.Contention
 }

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests pin the engine's central guarantee: for the same Options,
+// sequential, parallel and sharded-then-concatenated campaigns produce
+// byte-identical reports and CSV.
+
+func campaignCSV(t *testing.T, o Options) string {
+	t.Helper()
+	c, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := c.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func campaignReports(t *testing.T, o Options) string {
+	t.Helper()
+	c, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Fig4() + c.Fig5() + c.Fig6() + c.DetailTable() + c.SummaryText()
+}
+
+func TestParallelCampaignByteIdenticalToSequential(t *testing.T) {
+	o := quickOptions()
+	o.Workers = 1
+	seqCSV := campaignCSV(t, o)
+	seqRep := campaignReports(t, o)
+	for _, workers := range []int{2, 4, 16} {
+		o.Workers = workers
+		if got := campaignCSV(t, o); got != seqCSV {
+			t.Fatalf("workers=%d: CSV diverged from sequential:\n--- seq ---\n%s\n--- par ---\n%s",
+				workers, seqCSV, got)
+		}
+		if got := campaignReports(t, o); got != seqRep {
+			t.Fatalf("workers=%d: rendered reports diverged from sequential", workers)
+		}
+	}
+}
+
+func TestParallelCampaignByteIdenticalWithDerivedSeeds(t *testing.T) {
+	o := quickOptions()
+	o.DeriveSeeds = true
+	o.Workers = 1
+	seq := campaignCSV(t, o)
+	o.Workers = 8
+	if got := campaignCSV(t, o); got != seq {
+		t.Fatalf("derived-seed campaign not schedule-independent:\n--- seq ---\n%s\n--- par ---\n%s", seq, got)
+	}
+	// And derived seeds actually change the workloads vs the shared seed.
+	o.DeriveSeeds = false
+	if campaignCSV(t, o) == seq {
+		t.Fatal("DeriveSeeds had no effect on the campaign")
+	}
+}
+
+func TestShardedCSVConcatenatesToFullCSV(t *testing.T) {
+	o := quickOptions()
+	o.Workers = 4
+	full := campaignCSV(t, o)
+	for _, count := range []int{2, 3, 4} {
+		var parts strings.Builder
+		for idx := 0; idx < count; idx++ {
+			op := o
+			op.Shard = Shard{Index: idx, Count: count}
+			c, err := Run(op)
+			if err != nil {
+				t.Fatalf("shard %d/%d: %v", idx, count, err)
+			}
+			// Shard 0 carries the header; the rest append rows only.
+			if idx == 0 {
+				err = c.WriteCSV(&parts)
+			} else {
+				err = c.AppendCSV(&parts)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if parts.String() != full {
+			t.Fatalf("%d-way sharded CSV != full CSV:\n--- full ---\n%s\n--- concat ---\n%s",
+				count, full, parts.String())
+		}
+	}
+}
+
+func TestCampaignStableAcrossInvocations(t *testing.T) {
+	o := quickOptions()
+	o.Workers = 4
+	first := campaignCSV(t, o)
+	second := campaignCSV(t, o)
+	if first != second {
+		t.Fatalf("same options, different output:\n--- 1st ---\n%s\n--- 2nd ---\n%s", first, second)
+	}
+}
+
+func TestScenarioCampaignDeterministic(t *testing.T) {
+	o := Options{Seed: 42, Scale: 0.02}
+	scenarios := DoneScenarios()[:6]
+	render := func(workers int) string {
+		op := o
+		op.Workers = workers
+		c, err := RunScenarios(op, scenarios)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := c.WriteCSV(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String() + c.DetailTable()
+	}
+	seq := render(1)
+	if par := render(8); par != seq {
+		t.Fatalf("scenario campaign diverged:\n--- seq ---\n%s\n--- par ---\n%s", seq, par)
+	}
+}

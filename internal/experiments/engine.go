@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stamp"
+	"repro/internal/workload"
+)
+
+// This file is the campaign execution engine: a campaign is split into
+// independent run-cells, each cell is one paired (ungated vs gated)
+// simulation, and cells execute across a worker pool. Results are merged
+// in canonical cell order, so a parallel run is byte-identical to a
+// sequential one, and a sharded run concatenates cleanly with its sibling
+// shards.
+
+// Cell is one independently runnable unit of a campaign: a paired
+// (ungated vs gated) simulation of one application at one machine size,
+// with its own gating window, contention level and workload seed. Cells
+// carry everything needed to run them, so they can be distributed across
+// goroutines or machines without shared state.
+type Cell struct {
+	// Index is the cell's position in the campaign's canonical order.
+	// Results are merged by Index, which is what makes parallel and
+	// sharded execution deterministic.
+	Index int
+	// ID optionally names the scenario-matrix case this cell executes
+	// (e.g. "M00042"); empty for plain paper campaigns.
+	ID string
+	// App is the workload preset.
+	App stamp.App
+	// Processors is the core count.
+	Processors int
+	// W0 is the gating window constant (0 means the default, 8).
+	W0 sim.Time
+	// Contention adjusts the workload's conflict intensity; the empty
+	// string means ContentionBase (the preset as published).
+	Contention Contention
+	// Seed drives workload generation for this cell.
+	Seed uint64
+}
+
+// Label renders the cell for figures, tables and error messages:
+// "app/NNp" for paper-campaign cells, with "/W0=N" and the contention
+// level appended when they deviate from the defaults.
+func (c Cell) Label() string {
+	s := fmt.Sprintf("%s/%dp", c.App, c.Processors)
+	if c.W0 != 0 {
+		s += fmt.Sprintf("/W0=%d", c.W0)
+	}
+	if c.Contention != "" && c.Contention != ContentionBase {
+		s += "/" + string(c.Contention)
+	}
+	return s
+}
+
+// SplitMix64 is the SplitMix64 finalizer (Steele et al., "Fast splittable
+// pseudorandom number generators"). It is used to derive statistically
+// independent per-cell seeds from one campaign seed.
+func SplitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// CellSeed derives the workload seed of cell index from the campaign
+// seed. The derivation depends only on (campaign seed, cell index), never
+// on execution order, so any partition of the campaign across workers or
+// shards reproduces the same per-cell workloads.
+func CellSeed(campaign uint64, index int) uint64 {
+	return SplitMix64(campaign + uint64(index)*0x9e3779b97f4a7c15)
+}
+
+// Cells enumerates the campaign's run-cells in canonical order (apps
+// outer, processor counts inner — the order the paper's figures present).
+// With DeriveSeeds set, each cell gets an independent seed via CellSeed;
+// otherwise every cell shares the campaign seed, matching the paper's
+// single-seed methodology.
+func (o Options) Cells() []Cell {
+	var cells []Cell
+	for _, app := range o.apps() {
+		for _, np := range o.processors() {
+			c := Cell{
+				Index:      len(cells),
+				App:        app,
+				Processors: np,
+				W0:         o.W0,
+				Contention: ContentionBase,
+				Seed:       o.Seed,
+			}
+			if o.DeriveSeeds {
+				c.Seed = CellSeed(o.Seed, c.Index)
+			}
+			cells = append(cells, c)
+		}
+	}
+	return cells
+}
+
+// Shard selects one contiguous 1/Count slice of a campaign's cells, for
+// splitting a campaign across machines. The zero value means "the whole
+// campaign". Because shards are contiguous in canonical cell order,
+// concatenating the shard outputs 0..Count-1 reproduces the unsharded
+// output exactly.
+type Shard struct {
+	// Index is this shard's position, 0 <= Index < Count.
+	Index int
+	// Count is the total number of shards; 0 disables sharding.
+	Count int
+}
+
+func (s Shard) enabled() bool { return s.Count != 0 }
+
+// Validate checks the shard coordinates.
+func (s Shard) Validate() error {
+	if !s.enabled() {
+		if s.Index != 0 {
+			return fmt.Errorf("experiments: shard index %d with zero count", s.Index)
+		}
+		return nil
+	}
+	if s.Count < 0 || s.Index < 0 || s.Index >= s.Count {
+		return fmt.Errorf("experiments: shard %d/%d out of range", s.Index, s.Count)
+	}
+	return nil
+}
+
+// ShardCells returns the contiguous slice of cells owned by shard s.
+// Slices are balanced to within one cell.
+func ShardCells(cells []Cell, s Shard) ([]Cell, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if !s.enabled() {
+		return cells, nil
+	}
+	n := len(cells)
+	lo := s.Index * n / s.Count
+	hi := (s.Index + 1) * n / s.Count
+	return cells[lo:hi], nil
+}
+
+func (o Options) workers() int {
+	if o.Workers > 1 {
+		return o.Workers
+	}
+	return 1
+}
+
+// runCell executes one cell's paired simulation.
+func (o Options) runCell(c Cell) (*core.Outcome, error) {
+	rs, err := o.cellSpec(c)
+	if err != nil {
+		return nil, err
+	}
+	return core.RunPair(rs)
+}
+
+// ScaledSpec returns app's generator parameters with the transaction
+// count multiplied by scale, floored at threads. This is the one sizing
+// rule every campaign cell and public scaled-trace helper shares, so a
+// single experiment can reproduce a campaign cell's workload exactly.
+func ScaledSpec(app stamp.App, threads int, scale float64) (workload.Spec, error) {
+	spec, err := stamp.Spec(app)
+	if err != nil {
+		return workload.Spec{}, err
+	}
+	if scale > 0 && scale != 1.0 {
+		spec.TotalTxs = int(float64(spec.TotalTxs) * scale)
+		if spec.TotalTxs < threads {
+			spec.TotalTxs = threads
+		}
+	}
+	return spec, nil
+}
+
+// cellSpec builds the core.RunSpec for one cell, generating a custom
+// trace when the campaign scale or the cell's contention level deviates
+// from the preset.
+func (o Options) cellSpec(c Cell) (core.RunSpec, error) {
+	rs := core.RunSpec{App: c.App, Processors: c.Processors, Seed: c.Seed, W0: c.W0}
+	scaled := o.Scale > 0 && o.Scale != 1.0
+	shaped := c.Contention != "" && c.Contention != ContentionBase
+	if !scaled && !shaped {
+		return rs, nil
+	}
+	spec, err := ScaledSpec(c.App, c.Processors, o.Scale)
+	if err != nil {
+		return core.RunSpec{}, err
+	}
+	if shaped {
+		spec = c.Contention.Apply(spec)
+	}
+	tr, err := spec.Generate(c.Processors, c.Seed)
+	if err != nil {
+		return core.RunSpec{}, err
+	}
+	rs.Trace = tr
+	return rs, nil
+}
+
+// RunCells executes the given cells across o.Workers goroutines (1 or
+// fewer means sequential) and returns outcomes in the cells' given order.
+// Each cell is self-contained, so the schedule cannot affect results:
+// for the same cells, every worker count produces identical outcomes.
+// On failure the error of the lowest-index failing cell is returned, so
+// error reporting is deterministic too.
+func (o Options) RunCells(cells []Cell) ([]*core.Outcome, error) {
+	outs := make([]*core.Outcome, len(cells))
+	errs := make([]error, len(cells))
+	workers := o.workers()
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if workers <= 1 {
+		for i, c := range cells {
+			outs[i], errs[i] = o.runCell(c)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					outs[i], errs[i] = o.runCell(cells[i])
+				}
+			}()
+		}
+		for i := range cells {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: cell %d (%s): %w", cells[i].Index, cells[i].Label(), err)
+		}
+	}
+	return outs, nil
+}
+
+// Run executes the campaign's (possibly sharded) cell set across the
+// configured worker pool. Sequential (Workers <= 1) and parallel runs
+// produce byte-identical reports and CSV for the same Options.
+func Run(o Options) (*Campaign, error) {
+	cells, err := ShardCells(o.Cells(), o.Shard)
+	if err != nil {
+		return nil, err
+	}
+	outs, err := o.RunCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	return &Campaign{Options: o, Cells: cells, Outcomes: outs}, nil
+}

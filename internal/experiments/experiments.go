@@ -31,6 +31,18 @@ type Options struct {
 	Apps []stamp.App
 	// W0 overrides the gating window constant (default 8).
 	W0 sim.Time
+	// Workers is the number of goroutines executing run-cells; 1 or
+	// fewer means sequential. Results are merged in canonical cell
+	// order, so every worker count produces byte-identical output.
+	Workers int
+	// DeriveSeeds gives each run-cell an independent seed derived from
+	// Seed via CellSeed (SplitMix64 of seed and cell index) instead of
+	// sharing Seed across all cells as the paper does.
+	DeriveSeeds bool
+	// Shard restricts the campaign to one contiguous slice of its
+	// cells, for splitting a campaign across machines. The zero value
+	// runs everything.
+	Shard Shard
 }
 
 // DefaultOptions returns the paper's campaign: genome/yada/intruder on
@@ -54,23 +66,7 @@ func (o Options) apps() []stamp.App {
 }
 
 func (o Options) runSpec(app stamp.App, np int) (core.RunSpec, error) {
-	rs := core.RunSpec{App: app, Processors: np, Seed: o.Seed, W0: o.W0}
-	if o.Scale > 0 && o.Scale != 1.0 {
-		spec, err := stamp.Spec(app)
-		if err != nil {
-			return core.RunSpec{}, err
-		}
-		spec.TotalTxs = int(float64(spec.TotalTxs) * o.Scale)
-		if spec.TotalTxs < np {
-			spec.TotalTxs = np
-		}
-		tr, err := spec.Generate(np, o.Seed)
-		if err != nil {
-			return core.RunSpec{}, err
-		}
-		rs.Trace = tr
-	}
-	return rs, nil
+	return o.cellSpec(Cell{App: app, Processors: np, W0: o.W0, Seed: o.Seed})
 }
 
 // TableI renders the power model derivation (paper Table I).
@@ -135,32 +131,20 @@ func Fig3() string {
 }
 
 // Campaign holds the paired runs behind Figures 4-6 and the summary.
+// Run (see engine.go) builds one by executing the campaign's cells across
+// a worker pool and merging outcomes in canonical cell order.
 type Campaign struct {
-	Options  Options
+	Options Options
+	// Cells are the run-cells behind Outcomes, index-aligned with it.
+	Cells    []Cell
 	Outcomes []*core.Outcome
 }
 
-// Run executes the full paired-run matrix (apps × processor counts).
-func Run(o Options) (*Campaign, error) {
-	c := &Campaign{Options: o}
-	for _, app := range o.apps() {
-		for _, np := range o.processors() {
-			rs, err := o.runSpec(app, np)
-			if err != nil {
-				return nil, err
-			}
-			out, err := core.RunPair(rs)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s/%d: %w", app, np, err)
-			}
-			c.Outcomes = append(c.Outcomes, out)
-		}
-	}
-	return c, nil
-}
-
-func (c *Campaign) label(o *core.Outcome) string {
-	return fmt.Sprintf("%s/%dp", o.Spec.App, o.Spec.Processors)
+// label renders outcome i's row/bar label. Cells is always populated by
+// the campaign constructors and index-aligned with Outcomes; a panic
+// here means a constructor broke that invariant.
+func (c *Campaign) label(i int) string {
+	return c.Cells[i].Label()
 }
 
 // Fig4 renders total parallel execution time, ungated vs gated, with the
@@ -170,9 +154,9 @@ func (c *Campaign) Fig4() string {
 		Title: "Figure 4: Total parallel execution time (cycles)",
 		Unit:  " cyc",
 	}
-	for _, o := range c.Outcomes {
-		chart.Add(c.label(o)+" no-gate", float64(o.Comparison.N1), "")
-		chart.Add(c.label(o)+" gated", float64(o.Comparison.N2),
+	for i, o := range c.Outcomes {
+		chart.Add(c.label(i)+" no-gate", float64(o.Comparison.N1), "")
+		chart.Add(c.label(i)+" gated", float64(o.Comparison.N2),
 			report.Factor(o.Comparison.SpeedUp)+" speed-up")
 	}
 	return chart.Render()
@@ -185,9 +169,9 @@ func (c *Campaign) Fig5() string {
 		Title: "Figure 5: Energy consumption with and without clock gating",
 		Unit:  " (run-power-cycles)",
 	}
-	for _, o := range c.Outcomes {
-		chart.Add(c.label(o)+" no-gate", o.Comparison.Eug, "")
-		chart.Add(c.label(o)+" gated", o.Comparison.Eg,
+	for i, o := range c.Outcomes {
+		chart.Add(c.label(i)+" no-gate", o.Comparison.Eug, "")
+		chart.Add(c.label(i)+" gated", o.Comparison.Eg,
 			report.Factor(o.Comparison.EnergyRatio)+" reduction")
 	}
 	return chart.Render()
@@ -199,9 +183,9 @@ func (c *Campaign) Fig6() string {
 		Title: "Figure 6: Average power dissipation with and without clock gating",
 		Unit:  " (run-power units)",
 	}
-	for _, o := range c.Outcomes {
-		chart.Add(c.label(o)+" no-gate", o.Comparison.Pug, "")
-		chart.Add(c.label(o)+" gated", o.Comparison.Pg,
+	for i, o := range c.Outcomes {
+		chart.Add(c.label(i)+" no-gate", o.Comparison.Pug, "")
+		chart.Add(c.label(i)+" gated", o.Comparison.Pg,
 			report.Factor(o.Comparison.AvgPowerRatio)+" reduction")
 	}
 	return chart.Render()
@@ -257,9 +241,9 @@ func (c *Campaign) DetailTable() string {
 		Headers: []string{"config", "N1", "N2", "speedup", "Eug", "Eg",
 			"E-ratio", "P-ratio", "aborts-ug", "aborts-g", "gatings", "renewals"},
 	}
-	for _, o := range c.Outcomes {
+	for i, o := range c.Outcomes {
 		cmp := o.Comparison
-		t.AddRow(c.label(o),
+		t.AddRow(c.label(i),
 			fmt.Sprintf("%d", cmp.N1),
 			fmt.Sprintf("%d", cmp.N2),
 			fmt.Sprintf("%.3f", cmp.SpeedUp),
@@ -281,8 +265,32 @@ var Fig7W0Values = []sim.Time{2, 4, 8, 16, 32}
 
 // Fig7 runs the speed-up sensitivity analysis over W0 and the processor
 // count (paper Figure 7). Speed-ups are averaged over the campaign's
-// applications for each (W0, Np) point.
+// applications for each (W0, Np) point. The sweep's 3x5x|apps| paired
+// runs execute as one cell set on the engine's worker pool. Every cell
+// shares the campaign seed: the workload of a (app, Np) point must be
+// identical across the W0 axis, or the sweep would confound gating
+// sensitivity with workload randomness.
 func Fig7(o Options) (string, error) {
+	apps := o.apps()
+	var cells []Cell
+	for _, np := range o.processors() {
+		for _, w0 := range Fig7W0Values {
+			for _, app := range apps {
+				cells = append(cells, Cell{
+					Index:      len(cells),
+					App:        app,
+					Processors: np,
+					W0:         w0,
+					Contention: ContentionBase,
+					Seed:       o.Seed,
+				})
+			}
+		}
+	}
+	outs, err := o.RunCells(cells)
+	if err != nil {
+		return "", fmt.Errorf("experiments: fig7: %w", err)
+	}
 	set := report.SeriesSet{
 		Title:   "Figure 7: Speed-up as a function of W0 and Np",
 		XLabel:  "W0",
@@ -290,26 +298,16 @@ func Fig7(o Options) (string, error) {
 		XFormat: "%.0f",
 		YFormat: "%.3f",
 	}
+	k := 0
 	for _, np := range o.processors() {
 		s := report.Series{Name: fmt.Sprintf("Np=%d", np)}
 		for _, w0 := range Fig7W0Values {
 			sum := 0.0
-			cnt := 0
-			for _, app := range o.apps() {
-				opt := o
-				opt.W0 = w0
-				rs, err := opt.runSpec(app, np)
-				if err != nil {
-					return "", err
-				}
-				out, err := core.RunPair(rs)
-				if err != nil {
-					return "", fmt.Errorf("experiments: fig7 %s/%d W0=%d: %w", app, np, w0, err)
-				}
-				sum += out.Comparison.SpeedUp
-				cnt++
+			for range apps {
+				sum += outs[k].Comparison.SpeedUp
+				k++
 			}
-			s.Points = append(s.Points, report.Point{X: float64(w0), Y: sum / float64(cnt)})
+			s.Points = append(s.Points, report.Point{X: float64(w0), Y: sum / float64(len(apps))})
 		}
 		set.Series = append(set.Series, s)
 	}

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/stamp"
+)
+
+func TestMatrixShape(t *testing.T) {
+	m := Matrix()
+	want := len(stamp.AllApps()) * len(MatrixProcessors) * len(MatrixW0Values) * len(ContentionLevels())
+	if len(m) != want {
+		t.Fatalf("%d scenarios, want %d", len(m), want)
+	}
+	ids := map[string]bool{}
+	names := map[string]bool{}
+	for i, s := range m {
+		if s.Ord != i {
+			t.Errorf("scenario %d has Ord %d", i, s.Ord)
+		}
+		if want := fmt.Sprintf("M%05d", i+1); s.ID != want {
+			t.Errorf("scenario %d has ID %q, want %q", i, s.ID, want)
+		}
+		if ids[s.ID] || names[s.Name()] {
+			t.Errorf("duplicate scenario %s (%s)", s.ID, s.Name())
+		}
+		ids[s.ID] = true
+		names[s.Name()] = true
+	}
+}
+
+func TestScenarioLookup(t *testing.T) {
+	for _, s := range Matrix() {
+		byID, ok := ScenarioByID(s.ID)
+		if !ok || byID != s {
+			t.Fatalf("ScenarioByID(%q) = %+v, %v", s.ID, byID, ok)
+		}
+		byName, ok := ScenarioByName(s.Name())
+		if !ok || byName != s {
+			t.Fatalf("ScenarioByName(%q) = %+v, %v", s.Name(), byName, ok)
+		}
+	}
+	if _, ok := ScenarioByID("M99999"); ok {
+		t.Fatal("bogus id resolved")
+	}
+	if _, ok := ScenarioByName("nope/1p/W0=8/base"); ok {
+		t.Fatal("bogus name resolved")
+	}
+}
+
+func TestContentionApplyShiftsConflictAndValidates(t *testing.T) {
+	for _, app := range stamp.AllApps() {
+		base := stamp.MustSpec(app)
+		low := ContentionLow.Apply(base)
+		high := ContentionHigh.Apply(base)
+		if same := ContentionBase.Apply(base); same != base {
+			t.Errorf("%s: base contention altered the spec", app)
+		}
+		if !(low.HotFrac < base.HotFrac && base.HotFrac < high.HotFrac) {
+			t.Errorf("%s: HotFrac not ordered: %f / %f / %f", app, low.HotFrac, base.HotFrac, high.HotFrac)
+		}
+		if !(low.HotLines > base.HotLines && base.HotLines > high.HotLines) {
+			t.Errorf("%s: HotLines not ordered: %d / %d / %d", app, low.HotLines, base.HotLines, high.HotLines)
+		}
+		if err := low.Validate(); err != nil {
+			t.Errorf("%s low: %v", app, err)
+		}
+		if err := high.Validate(); err != nil {
+			t.Errorf("%s high: %v", app, err)
+		}
+	}
+}
+
+func TestContentionShapesAborts(t *testing.T) {
+	// The contention axis must actually move the conflict rate. Low must
+	// conflict less than both base and high for every tested app. (High
+	// is not required to exceed base: presets such as intruder already
+	// sit at the abort ceiling, where concentrating the hot set further
+	// shortens transactions and can reduce overlap.)
+	o := Options{Seed: 7, Scale: 0.1}
+	for _, app := range []stamp.App{stamp.Intruder, stamp.Genome} {
+		aborts := map[Contention]uint64{}
+		for _, lvl := range ContentionLevels() {
+			out, err := o.runCell(Cell{App: app, Processors: 8, Seed: 7, Contention: lvl})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", app, lvl, err)
+			}
+			aborts[lvl] = out.Ungated.Counters.Aborts
+		}
+		if aborts[ContentionLow] >= aborts[ContentionBase] || aborts[ContentionLow] >= aborts[ContentionHigh] {
+			t.Errorf("%s: low contention does not conflict least: low=%d base=%d high=%d",
+				app, aborts[ContentionLow], aborts[ContentionBase], aborts[ContentionHigh])
+		}
+	}
+}
+
+func TestDoneScenariosAreExecutable(t *testing.T) {
+	done := DoneScenarios()
+	if len(done) == 0 {
+		t.Fatal("no done scenarios")
+	}
+	// Every done scenario resolves and reports itself done; the grid has
+	// the coverage the case table promises.
+	var hasBig, hasW0, hasContention, hasExtension bool
+	for _, s := range done {
+		if !s.Done() || s.Status() != "done" {
+			t.Errorf("%s: inconsistent done status", s.ID)
+		}
+		if s.Processors >= 16 {
+			hasBig = true
+		}
+		if s.W0 != matrixDefaultW0 {
+			hasW0 = true
+		}
+		if s.Contention != ContentionBase {
+			hasContention = true
+		}
+		if !isPaperApp(s.App) {
+			hasExtension = true
+		}
+	}
+	if !hasBig || !hasW0 || !hasContention || !hasExtension {
+		t.Fatalf("done set misses an axis: big=%v w0=%v contention=%v extension=%v",
+			hasBig, hasW0, hasContention, hasExtension)
+	}
+}
+
+func TestScenarioSeedIndependentOfSubset(t *testing.T) {
+	m := Matrix()
+	s := m[41] // arbitrary non-first scenario
+	alone := s.Cell(0, 42)
+	inSubset := s.Cell(7, 42)
+	if alone.Seed != inSubset.Seed {
+		t.Fatalf("scenario seed depends on run position: %d vs %d", alone.Seed, inSubset.Seed)
+	}
+	if alone.Seed != CellSeed(42, s.Ord) {
+		t.Fatalf("scenario seed %d not derived from matrix ordinal", alone.Seed)
+	}
+}
+
+func TestRunScenariosLabelsByCase(t *testing.T) {
+	o := Options{Seed: 42, Scale: 0.02, Workers: 4}
+	scenarios := []Scenario{}
+	for _, id := range []string{"M00013", "M00014"} {
+		s, ok := ScenarioByID(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		scenarios = append(scenarios, s)
+	}
+	c, err := RunScenarios(o, scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Outcomes) != 2 {
+		t.Fatalf("%d outcomes", len(c.Outcomes))
+	}
+	detail := c.DetailTable()
+	if !strings.Contains(detail, "W0=") {
+		t.Fatalf("detail table lacks scenario labels:\n%s", detail)
+	}
+	var csvOut strings.Builder
+	if err := c.WriteCSV(&csvOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range scenarios {
+		if !strings.Contains(csvOut.String(), s.ID) {
+			t.Errorf("CSV lacks case id %s:\n%s", s.ID, csvOut.String())
+		}
+	}
+}
+
+func TestMatrixTableAndE2EDoc(t *testing.T) {
+	table := MatrixTable()
+	doc := E2EDoc()
+	for _, s := range []Scenario{Matrix()[0], Matrix()[len(Matrix())-1]} {
+		if !strings.Contains(table, s.ID) {
+			t.Errorf("matrix table missing %s", s.ID)
+		}
+		if !strings.Contains(doc, s.ID) {
+			t.Errorf("E2E doc missing %s", s.ID)
+		}
+	}
+	for _, want := range []string{"case id", "category", "title", "check point", "priority", "status", "| done"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("E2E doc missing %q", want)
+		}
+	}
+}

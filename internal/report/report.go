@@ -76,6 +76,47 @@ func (t *Table) Render() string {
 	return b.String()
 }
 
+// Markdown renders the table as a GitHub-flavored markdown table (title
+// and note omitted; pipe characters in cells are escaped). Cells are
+// padded to column width so the source is as readable as the rendering.
+func (t *Table) Markdown() string {
+	escape := func(s string) string { return strings.ReplaceAll(s, "|", "\\|") }
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(escape(h))
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(escape(c)) > widths[i] {
+				widths[i] = len(escape(c))
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		b.WriteByte('|')
+		for i := range t.Headers {
+			cell := ""
+			if i < len(cells) {
+				cell = escape(cells[i])
+			}
+			fmt.Fprintf(&b, " %-*s |", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	b.WriteByte('|')
+	for _, w := range widths {
+		b.WriteString(strings.Repeat("-", w+2))
+		b.WriteByte('|')
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
 // Bar is one bar of a BarChart.
 type Bar struct {
 	Label string

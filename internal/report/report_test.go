@@ -111,3 +111,34 @@ func TestFactor(t *testing.T) {
 		t.Fatalf("Factor = %q", got)
 	}
 }
+
+func TestTableMarkdown(t *testing.T) {
+	tb := Table{
+		Title:   "ignored in markdown",
+		Headers: []string{"id", "status"},
+	}
+	tb.AddRow("M00001", "done")
+	tb.AddRow("M00002", "a|b") // pipe must be escaped
+	out := tb.Markdown()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "| id     | status |" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if lines[1] != "|--------|--------|" {
+		t.Fatalf("separator %q", lines[1])
+	}
+	if !strings.Contains(lines[3], `a\|b`) {
+		t.Fatalf("pipe not escaped: %q", lines[3])
+	}
+	if strings.Contains(out, "ignored") {
+		t.Fatal("markdown rendering must omit the title")
+	}
+	for _, l := range lines {
+		if len(l) != len(lines[0]) {
+			t.Fatalf("ragged markdown table:\n%s", out)
+		}
+	}
+}
