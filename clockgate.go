@@ -27,15 +27,55 @@
 //	})
 //	fmt.Println(out.SpeedUp(), out.EnergyReductionFactor())
 //
-// Above single experiments sits the campaign API: a campaign is the
-// paper's full paired-run matrix, split into independent run-cells and
-// executed across a worker pool. Results merge in canonical cell order,
-// so sequential and parallel campaigns are byte-identical:
+// # Sessions
+//
+// Every sweep above a single experiment runs on a Session: a long-lived
+// campaign engine that owns a worker pool, a workload-trace cache and an
+// optional JSONL checkpoint sink. A campaign is split into independent
+// run-cells (paired gated/ungated simulations); the session executes
+// them across its pool and either streams results as they complete or
+// merges them in canonical cell order:
 //
 //	opts := clockgate.DefaultCampaignOptions()
 //	opts.Workers = runtime.GOMAXPROCS(0)
-//	campaign, err := clockgate.RunCampaign(opts)
+//	session := clockgate.NewSession(opts)
+//	defer session.Close()
+//
+//	// Streaming: per-cell results in completion order, cancellable.
+//	for res, err := range session.Stream(ctx, opts.Cells()) {
+//		if err != nil { ... }
+//		fmt.Println(res.Cell.Label(), res.Outcome.Comparison.SpeedUp)
+//	}
+//
+//	// Batch: canonical order, byte-identical for every worker count —
+//	// and byte-identical to the stream reordered by CellResult.Pos.
+//	campaign, err := session.Run(ctx)
 //	fmt.Println(campaign.SummaryText())
+//
+// Session.SetCheckpoint persists each completed cell as one JSON line;
+// re-running an interrupted campaign with the same options and
+// checkpoint file restarts at the first incomplete cell and produces
+// byte-identical output (the CLI exposes this as `-resume`). Contexts
+// cancel promptly: the simulator polls the context inside a run, not
+// just between cells.
+//
+// The scenario matrix, the W0 sensitivity sweep (Figure 7), the
+// multi-seed error bars and the ablation suite are all cell providers on
+// the same engine — Session.RunScenarios, Session.Fig7,
+// Session.MultiSeed, Session.Ablations — so they share the pool, the
+// trace cache and the checkpoint machinery.
+//
+// # Legacy entry points
+//
+// The original one-shot helpers remain as thin adapters, each running a
+// throwaway session to completion. Prefer a Session for anything beyond
+// a single call; the mapping is:
+//
+//	RunCampaign(opts)            -> NewSession(opts).Run(ctx)
+//	RunScenarios(opts, cases)    -> NewSession(opts).RunScenarios(ctx, cases)
+//	experiments -fig7            -> NewSession(opts).Fig7(ctx)
+//	experiments -seeds N         -> NewSession(opts).MultiSeed(ctx, seeds)
+//	experiments -ablations       -> NewSession(opts).Ablations(ctx)
 //
 // Beyond the paper's grid, the scenario matrix names every runnable case
 // — each STAMP preset at 1–32 processors, several gating windows and
@@ -254,15 +294,39 @@ type Shard = experiments.Shard
 // Cell is one independently runnable unit of a campaign.
 type Cell = experiments.Cell
 
+// Outcome is the paired-run result of one campaign cell, as held in
+// Campaign.Outcomes and CellResult.Outcome.
+type Outcome = core.Outcome
+
 // DefaultCampaignOptions returns the paper's campaign: genome/yada/
 // intruder on 4/8/16 processors with W0 = 8 and seed 42, run
 // sequentially.
 func DefaultCampaignOptions() CampaignOptions { return experiments.DefaultOptions() }
 
+// Session is the campaign engine every sweep runs on: it owns a worker
+// pool, a workload-trace cache, and an optional JSONL checkpoint sink.
+// Create one with NewSession, run any number of sweeps on it (Run,
+// Stream, RunScenarios, Fig7, MultiSeed, Ablations), and Close it when
+// done. See the package documentation for the streaming and resume
+// semantics.
+type Session = experiments.Session
+
+// CellResult is one completed cell of a streamed campaign: the cell, its
+// paired-run outcome, and its position in the submitted cell slice
+// (sorting a collected stream by Pos reproduces the batch output
+// byte-for-byte).
+type CellResult = experiments.CellResult
+
+// NewSession creates a campaign session for the given options. The
+// worker pool starts lazily; Close releases it.
+func NewSession(o CampaignOptions) *Session { return experiments.NewSession(o) }
+
 // RunCampaign executes the campaign's run-cells across
 // CampaignOptions.Workers goroutines and merges outcomes in canonical
 // cell order. For the same options, every worker count — and any
-// sharding — produces identical results.
+// sharding — produces identical results. It is a thin adapter running a
+// one-shot Session to completion; use NewSession directly for streaming,
+// cancellation, or checkpoint/resume.
 func RunCampaign(o CampaignOptions) (*Campaign, error) { return experiments.Run(o) }
 
 // Scenario is one named, addressable case of the scenario matrix.

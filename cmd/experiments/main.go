@@ -13,15 +13,26 @@
 //	experiments -matrix M00042,M00049 -detail        # run cases by id
 //	experiments -matrix done -detail    # run every case the E2E table executes
 //	experiments -e2e-doc > docs/E2E.md  # regenerate the E2E case table
+//	experiments -summary -resume ckpt.jsonl          # checkpoint every cell;
+//	    # Ctrl-C, then re-run the same command: it restarts at the first
+//	    # incomplete cell and the final output is byte-identical
+//
+// Every sweep runs on one clockgate session (worker pool + trace cache +
+// optional checkpoint sink); SIGINT/SIGTERM cancel the session's context,
+// which stops the simulators mid-run.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/experiments"
 )
@@ -49,6 +60,7 @@ func main() {
 		matrix     = flag.String("matrix", "", "run scenario-matrix cases: comma-separated ids/names, \"done\", or \"all\"")
 		matrixList = flag.Bool("matrix-list", false, "list every scenario-matrix case")
 		e2eDoc     = flag.Bool("e2e-doc", false, "print the generated docs/E2E.md")
+		resume     = flag.String("resume", "", "JSONL checkpoint file: completed cells are appended as they finish and an interrupted run restarts at the first incomplete cell")
 	)
 	flag.Parse()
 
@@ -83,6 +95,24 @@ func main() {
 	}
 	opts.Shard = shard
 
+	// One session runs every requested sweep: worker pool, trace cache
+	// and checkpoint sink are shared across them. SIGINT/SIGTERM cancel
+	// the context, which stops the simulators mid-run; with -resume the
+	// completed cells are already on disk and the next run picks up at
+	// the first incomplete cell.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	session := experiments.NewSession(opts)
+	defer session.Close()
+	if *resume != "" {
+		if err := session.SetCheckpoint(*resume); err != nil {
+			fatal(err)
+		}
+		if n := session.Checkpoint().Len(); n > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: resuming from %s (%d cells on record)\n", *resume, n)
+		}
+	}
+
 	writeCSV := func(c *experiments.Campaign) {
 		f, err := os.Create(*csvPath)
 		if err != nil {
@@ -116,9 +146,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		campaign, err := experiments.RunScenarios(opts, scenarios)
+		campaign, err := session.RunScenarios(ctx, scenarios)
 		if err != nil {
-			fatal(err)
+			fatalRun(err, *resume)
 		}
 		fmt.Printf("Scenario matrix campaign (%d of %d selected cases):\n",
 			len(campaign.Outcomes), len(scenarios))
@@ -144,9 +174,9 @@ func main() {
 
 	needsCampaign := *fig4 || *fig5 || *fig6 || *summary || *detail || *csvPath != ""
 	if needsCampaign {
-		campaign, err := experiments.Run(opts)
+		campaign, err := session.Run(ctx)
 		if err != nil {
-			fatal(err)
+			fatalRun(err, *resume)
 		}
 		if *fig4 {
 			fmt.Println(campaign.Fig4())
@@ -175,18 +205,18 @@ func main() {
 		if shard.Count != 0 {
 			fmt.Println("Figure 7 skipped in shard mode (the W0 sweep is one indivisible figure); run -fig7 unsharded")
 		} else {
-			out, err := experiments.Fig7(opts)
+			out, err := session.Fig7(ctx)
 			if err != nil {
-				fatal(err)
+				fatalRun(err, *resume)
 			}
 			fmt.Println(out)
 		}
 	}
 
 	if *ablation {
-		out, err := experiments.Ablations(opts)
+		out, err := session.Ablations(ctx)
 		if err != nil {
-			fatal(err)
+			fatalRun(err, *resume)
 		}
 		fmt.Println(out)
 	}
@@ -206,9 +236,9 @@ func main() {
 		for i := range list {
 			list[i] = *seed + uint64(i)
 		}
-		ms, err := experiments.MultiSeed(opts, list)
+		ms, err := session.MultiSeed(ctx, list)
 		if err != nil {
-			fatal(err)
+			fatalRun(err, *resume)
 		}
 		fmt.Println(ms.Render())
 	}
@@ -267,4 +297,19 @@ func selectScenarios(arg string) ([]experiments.Scenario, error) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "experiments:", err)
 	os.Exit(1)
+}
+
+// fatalRun reports a sweep failure. A context cancellation is the user's
+// SIGINT, not an error: report what was saved and exit with the
+// conventional interrupted status.
+func fatalRun(err error, resume string) {
+	if errors.Is(err, context.Canceled) {
+		if resume != "" {
+			fmt.Fprintln(os.Stderr, "experiments: interrupted; completed cells are checkpointed — re-run the same command to resume at the first incomplete cell")
+		} else {
+			fmt.Fprintln(os.Stderr, "experiments: interrupted (use -resume FILE to make runs restartable)")
+		}
+		os.Exit(130)
+	}
+	fatal(err)
 }

@@ -7,6 +7,7 @@
 package clockgate
 
 import (
+	"context"
 	"math"
 	"os"
 	"runtime"
@@ -85,8 +86,11 @@ func TestE2EDocCoversMatrix(t *testing.T) {
 }
 
 // TestE2EScenarios executes every done case id from docs/E2E.md as one
-// parallel campaign and asserts each case's check point, table-driven by
-// the doc itself.
+// streamed session campaign — results collected in completion order,
+// reordered into canonical order by CellResult.Pos — and asserts each
+// case's check point, table-driven by the doc itself. Streaming the
+// harness (instead of batching) exercises the engine's central guarantee
+// on every CI run: a reordered stream is the batch result.
 func TestE2EScenarios(t *testing.T) {
 	cases := parseDocCases(t, readE2EDoc(t))
 	var scenarios []Scenario
@@ -102,16 +106,31 @@ func TestE2EScenarios(t *testing.T) {
 	opts := DefaultCampaignOptions()
 	opts.Scale = e2eScale
 	opts.Workers = runtime.GOMAXPROCS(0)
-	campaign, err := RunScenarios(opts, scenarios)
-	if err != nil {
-		t.Fatal(err)
+	session := NewSession(opts)
+	defer session.Close()
+
+	cells := make([]Cell, len(scenarios))
+	for i, s := range scenarios {
+		cells[i] = s.Cell(i, opts.Seed)
 	}
-	if len(campaign.Outcomes) != len(scenarios) {
-		t.Fatalf("%d outcomes for %d scenarios", len(campaign.Outcomes), len(scenarios))
+	outcomes := make([]*Outcome, len(cells))
+	delivered := 0
+	for res, err := range session.Stream(context.Background(), cells) {
+		if err != nil {
+			t.Fatalf("cell %s: %v", res.Cell.Label(), err)
+		}
+		if outcomes[res.Pos] != nil {
+			t.Fatalf("cell %d delivered twice", res.Pos)
+		}
+		outcomes[res.Pos] = res.Outcome
+		delivered++
+	}
+	if delivered != len(scenarios) {
+		t.Fatalf("%d outcomes for %d scenarios", delivered, len(scenarios))
 	}
 
 	for i, s := range scenarios {
-		out := campaign.Outcomes[i]
+		out := outcomes[i]
 		t.Run(s.ID, func(t *testing.T) {
 			cmp := out.Comparison
 			if cmp.N1 <= 0 || cmp.N2 <= 0 {
@@ -125,12 +144,44 @@ func TestE2EScenarios(t *testing.T) {
 					t.Errorf("%s: metric not positive/finite: %g", s.Name(), v)
 				}
 			}
-			g := out.Gated.Counters
+			ug, g := out.Ungated.Counters, out.Gated.Counters
 			if g.Commits == 0 {
 				t.Errorf("%s: gated run committed nothing", s.Name())
 			}
-			if s.Processors == 1 && out.Ungated.Counters.Aborts != 0 {
-				t.Errorf("%s: uniprocessor run aborted %d times", s.Name(), out.Ungated.Counters.Aborts)
+			if s.Processors == 1 && ug.Aborts != 0 {
+				t.Errorf("%s: uniprocessor run aborted %d times", s.Name(), ug.Aborts)
+			}
+
+			// Gating-counter invariants (the check-point column's
+			// "counters" clause), asserted for every executed case:
+			// the ungated baseline never gates; renewals require a
+			// gated processor; a processor can only wake from a gating
+			// it entered; self-aborts happen only after wake-ups; a
+			// uniprocessor has no conflicts and so never gates; and
+			// both runs commit the same transaction count (the trace
+			// always completes).
+			if ug.Gatings != 0 {
+				t.Errorf("%s: ungated baseline recorded %d gatings", s.Name(), ug.Gatings)
+			}
+			if g.Gatings == 0 && g.Renewals != 0 {
+				t.Errorf("%s: %d renewals without a single gating", s.Name(), g.Renewals)
+			}
+			if g.Ungates > g.Gatings {
+				t.Errorf("%s: %d ungates exceed %d gatings", s.Name(), g.Ungates, g.Gatings)
+			}
+			if g.SelfAborts > g.Ungates {
+				t.Errorf("%s: %d self-aborts exceed %d wake-ups", s.Name(), g.SelfAborts, g.Ungates)
+			}
+			if s.Processors == 1 && g.Gatings != 0 {
+				t.Errorf("%s: uniprocessor gated %d times", s.Name(), g.Gatings)
+			}
+			if ug.Commits != g.Commits {
+				t.Errorf("%s: commit counts diverge: ungated %d, gated %d", s.Name(), ug.Commits, g.Commits)
+			}
+			// Contention-level sharpening: raised contention on a
+			// multiprocessor must actually exercise the gating path.
+			if s.Contention == ContentionHigh && s.Processors >= 8 && g.Gatings == 0 {
+				t.Errorf("%s: high contention at %dp never gated", s.Name(), s.Processors)
 			}
 		})
 	}

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/config"
@@ -70,14 +71,38 @@ type Outcome struct {
 	Comparison power.Comparison
 }
 
+// cancelHook converts a context into the periodic cancellation hook the
+// simulator polls; background-like contexts install no hook at all, so
+// the uncancellable path stays overhead-free.
+func cancelHook(ctx context.Context) func() error {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return func() error { return context.Cause(ctx) }
+}
+
 // RunOne executes a single configuration (gated or not) of the spec.
 func RunOne(rs RunSpec, gated bool) (*tcc.Result, error) {
 	return RunOneRecorded(rs, gated, nil)
 }
 
+// RunOneCtx is RunOne with context cancellation: the context is checked
+// before the run starts and polled periodically while the simulation is
+// in flight, so a cancellation surfaces promptly as ctx.Err().
+func RunOneCtx(ctx context.Context, rs RunSpec, gated bool) (*tcc.Result, error) {
+	return runOne(ctx, rs, gated, nil)
+}
+
 // RunOneRecorded is RunOne with a protocol event recorder attached to the
 // machine (nil records nothing).
 func RunOneRecorded(rs RunSpec, gated bool, rec *trace.Recorder) (*tcc.Result, error) {
+	return runOne(context.Background(), rs, gated, rec)
+}
+
+func runOne(ctx context.Context, rs RunSpec, gated bool, rec *trace.Recorder) (*tcc.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	tr, err := rs.trace()
 	if err != nil {
 		return nil, err
@@ -89,24 +114,42 @@ func RunOneRecorded(rs RunSpec, gated bool, rec *trace.Recorder) (*tcc.Result, e
 	if rec != nil {
 		sys.SetRecorder(rec)
 	}
+	sys.SetCancel(cancelHook(ctx))
 	return sys.Run()
 }
 
 // RunPair executes the spec twice on the identical trace — ungated
 // baseline and gated — and compares them with the paper's energy model.
 func RunPair(rs RunSpec) (*Outcome, error) {
+	return RunPairCtx(context.Background(), rs)
+}
+
+// RunPairCtx is RunPair with context cancellation threaded through both
+// runs: the context is checked between phases and polled inside each
+// simulation, so a canceled campaign stops mid-run instead of finishing
+// the cell. A run that is not canceled is byte-identical to RunPair.
+func RunPairCtx(ctx context.Context, rs RunSpec) (*Outcome, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	tr, err := rs.trace()
 	if err != nil {
 		return nil, err
 	}
 	rs.Trace = tr // pin the trace so both runs share it exactly
 
-	ungated, err := runWith(rs, false, tr)
+	ungated, err := runWith(ctx, rs, false, tr)
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, fmt.Errorf("core: ungated run: %w", err)
 	}
-	gated, err := runWith(rs, true, tr)
+	gated, err := runWith(ctx, rs, true, tr)
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, fmt.Errorf("core: gated run: %w", err)
 	}
 	return &Outcome{
@@ -117,10 +160,11 @@ func RunPair(rs RunSpec) (*Outcome, error) {
 	}, nil
 }
 
-func runWith(rs RunSpec, gated bool, tr *workload.Trace) (*tcc.Result, error) {
+func runWith(ctx context.Context, rs RunSpec, gated bool, tr *workload.Trace) (*tcc.Result, error) {
 	sys, err := tcc.NewSystem(rs.config(gated), tr)
 	if err != nil {
 		return nil, err
 	}
+	sys.SetCancel(cancelHook(ctx))
 	return sys.Run()
 }

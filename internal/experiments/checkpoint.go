@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tcc"
+)
+
+// The checkpoint sink persists per-cell results as JSONL so an
+// interrupted campaign restarts at the first incomplete cell. The file
+// starts with a header line pinning the campaign's options fingerprint;
+// each later line is one completed cell. Records hold the fields every
+// sweep on the session reads: the comparison, both runs' cycle/counter
+// sets, and the per-processor residency totals the energy model reduces
+// a ledger to (so re-pricing sweeps like the SRPG ablation work on
+// restored results). Integers and shortest-form floats round-trip
+// through JSON exactly, and energy is a function of the integer
+// residency totals alone, so a resumed campaign's output is
+// byte-identical to an uninterrupted one. Per-processor, cache, bus and
+// directory breakdowns are not persisted — nothing on the campaign
+// surface reads them from an outcome.
+
+// checkpointVersion guards the on-disk format.
+const checkpointVersion = 1
+
+type checkpointHeader struct {
+	Version  int    `json:"version"`
+	Campaign string `json:"campaign"`
+}
+
+// checkpointRun is the serializable slice of one tcc.Result the campaign
+// outputs depend on. Residency carries the ledger's whole-run per-state
+// totals: the energy model reduces a ledger to exactly these integers,
+// so a ledger restored from them re-prices (e.g. under the SRPG
+// ablation's models) bit-identically to the original.
+type checkpointRun struct {
+	Cycles    sim.Time                    `json:"cycles"`
+	Counters  stats.Counters              `json:"counters"`
+	Residency [][stats.NumStates]sim.Time `json:"residency"`
+	TraceName string                      `json:"trace_name,omitempty"`
+	Gated     bool                        `json:"gated"`
+}
+
+func toCheckpointRun(r *tcc.Result) checkpointRun {
+	return checkpointRun{
+		Cycles:    r.Cycles,
+		Counters:  r.Counters,
+		Residency: r.Ledger.ResidencyTotals(),
+		TraceName: r.TraceName,
+		Gated:     r.Gated,
+	}
+}
+
+func (cr checkpointRun) result() *tcc.Result {
+	return &tcc.Result{
+		Cycles:    cr.Cycles,
+		Counters:  cr.Counters,
+		Ledger:    stats.RestoreLedger(cr.Residency, cr.Cycles),
+		TraceName: cr.TraceName,
+		Gated:     cr.Gated,
+	}
+}
+
+// checkpointRecord is one completed cell.
+type checkpointRecord struct {
+	Cell       Cell             `json:"cell"`
+	Ungated    checkpointRun    `json:"ungated"`
+	Gated      checkpointRun    `json:"gated"`
+	Comparison power.Comparison `json:"comparison"`
+}
+
+// cellKey identifies a cell for checkpoint lookup: exactly the fields
+// that change what the cell computes — not Index (positional metadata)
+// and not ID (a scenario label); two sweeps sharing a checkpoint file
+// replay any cell that computes the same paired run. The W0 and
+// contention sentinels are normalized to the defaults they select
+// (W0 0 runs the default window, empty contention runs base), so cells
+// agree regardless of which sweep spelled the default out.
+func cellKey(c Cell) string {
+	return fmt.Sprintf("%s|%d|%d|%s|%s|%d",
+		c.App, c.Processors, c.effectiveW0(), c.contentionOrBase(), c.Variant, c.Seed)
+}
+
+// Checkpoint is a JSONL result sink attached to a Session. It is safe for
+// concurrent use by the session's workers.
+type Checkpoint struct {
+	mu       sync.Mutex
+	f        *os.File
+	enc      *json.Encoder
+	done     map[string]checkpointRecord
+	restored int
+}
+
+// OpenCheckpoint opens (or creates) the checkpoint file at path for the
+// campaign identified by fingerprint. Existing records are loaded for
+// replay; a file written by a campaign with a different fingerprint is
+// refused. A truncated final line — the signature of a killed process —
+// is tolerated and dropped; that cell simply re-runs.
+func OpenCheckpoint(path, fingerprint string) (*Checkpoint, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: open checkpoint: %w", err)
+	}
+	ck := &Checkpoint{f: f, done: make(map[string]checkpointRecord)}
+	if err := ck.load(fingerprint); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("experiments: checkpoint seek: %w", err)
+	}
+	ck.enc = json.NewEncoder(f)
+	return ck, nil
+}
+
+func (ck *Checkpoint) load(fingerprint string) error {
+	raw, err := io.ReadAll(ck.f)
+	if err != nil {
+		return fmt.Errorf("experiments: checkpoint read: %w", err)
+	}
+	if len(raw) == 0 {
+		// Fresh file: write the header so any later resume is validated.
+		hdr, err := json.Marshal(checkpointHeader{Version: checkpointVersion, Campaign: fingerprint})
+		if err != nil {
+			return err
+		}
+		_, err = ck.f.Write(append(hdr, '\n'))
+		return err
+	}
+	// A file not ending in '\n' was torn by a mid-write kill. Truncate
+	// the fragment away — appending after it would glue the next record
+	// onto the same physical line and silently lose it on the following
+	// resume.
+	if raw[len(raw)-1] != '\n' {
+		cut := bytes.LastIndexByte(raw, '\n') + 1
+		if err := ck.f.Truncate(int64(cut)); err != nil {
+			return fmt.Errorf("experiments: checkpoint truncate torn tail: %w", err)
+		}
+		raw = raw[:cut]
+		if len(raw) == 0 {
+			// Even the header was torn: rewrite it.
+			hdr, err := json.Marshal(checkpointHeader{Version: checkpointVersion, Campaign: fingerprint})
+			if err != nil {
+				return err
+			}
+			_, err = ck.f.WriteAt(append(hdr, '\n'), 0)
+			return err
+		}
+	}
+	lines := strings.Split(strings.TrimSuffix(string(raw), "\n"), "\n")
+	var hdr checkpointHeader
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil {
+		return fmt.Errorf("experiments: checkpoint header corrupt: %w", err)
+	}
+	if hdr.Version != checkpointVersion {
+		return fmt.Errorf("experiments: checkpoint version %d, want %d", hdr.Version, checkpointVersion)
+	}
+	if hdr.Campaign != fingerprint {
+		return fmt.Errorf("experiments: checkpoint belongs to campaign %s, this campaign is %s (delete the file or fix the options)",
+			hdr.Campaign, fingerprint)
+	}
+	for _, line := range lines[1:] {
+		var rec checkpointRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			// A corrupt interior line; skip it and let the cell re-run.
+			continue
+		}
+		ck.done[cellKey(rec.Cell)] = rec
+	}
+	return nil
+}
+
+// Lookup returns the recorded outcome for an identical cell, if present.
+func (ck *Checkpoint) Lookup(c Cell) (*core.Outcome, bool) {
+	ck.mu.Lock()
+	rec, ok := ck.done[cellKey(c)]
+	if ok {
+		ck.restored++
+	}
+	ck.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return &core.Outcome{
+		Spec: core.RunSpec{
+			App:        rec.Cell.App,
+			Processors: rec.Cell.Processors,
+			W0:         rec.Cell.W0,
+			Seed:       rec.Cell.Seed,
+		},
+		Ungated:    rec.Ungated.result(),
+		Gated:      rec.Gated.result(),
+		Comparison: rec.Comparison,
+	}, true
+}
+
+// Record appends one completed cell. Each record is a single Write to the
+// underlying file, so a kill between cells never tears more than the
+// final line.
+func (ck *Checkpoint) Record(c Cell, out *core.Outcome) error {
+	rec := checkpointRecord{
+		Cell:       c,
+		Ungated:    toCheckpointRun(out.Ungated),
+		Gated:      toCheckpointRun(out.Gated),
+		Comparison: out.Comparison,
+	}
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	if err := ck.enc.Encode(rec); err != nil {
+		return fmt.Errorf("experiments: checkpoint write: %w", err)
+	}
+	ck.done[cellKey(c)] = rec
+	return nil
+}
+
+// Len returns the number of completed cells on record.
+func (ck *Checkpoint) Len() int {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	return len(ck.done)
+}
+
+// Restored returns how many lookups were served from the file — the cells
+// this process did not have to re-run.
+func (ck *Checkpoint) Restored() int {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	return ck.restored
+}
+
+// Close flushes and closes the file.
+func (ck *Checkpoint) Close() error {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	return ck.f.Close()
+}

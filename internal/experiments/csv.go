@@ -31,8 +31,57 @@ func (c *Campaign) WriteCSV(w io.Writer) error {
 // AppendCSV writes the rows only. A sharded campaign writes its CSV with
 // WriteCSV on shard 0 and AppendCSV on the rest, so the per-shard files
 // concatenate into exactly the unsharded WriteCSV output.
+//
+// When w can be read back (it implements io.ReadSeeker, as *os.File
+// does), AppendCSV first validates that any existing header matches the
+// schema it is about to append and fails cleanly on mismatch — appending
+// rows under a foreign header would produce a silently corrupt
+// concatenation. An empty target (including the plain io.Writer shard
+// buffers) is appended to without a check.
 func (c *Campaign) AppendCSV(w io.Writer) error {
+	if rs, ok := w.(io.ReadSeeker); ok {
+		if err := validateCSVHeader(rs); err != nil {
+			return err
+		}
+	}
 	return c.writeCSV(w, false)
+}
+
+// validateCSVHeader checks that if the existing content of rs starts
+// with a header row, it is exactly this package's CSV header, then
+// positions rs at the end for appending. A first row that is not a
+// header (it does not begin with the header's first column name) is a
+// rows-only shard file, which append-accumulates without a check — data
+// rows can never collide with the header because the first column holds
+// application names, never the literal column name.
+func validateCSVHeader(rs io.ReadSeeker) error {
+	if _, err := rs.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("experiments: AppendCSV: seek: %w", err)
+	}
+	r := csv.NewReader(rs)
+	r.FieldsPerRecord = -1
+	got, err := r.Read()
+	switch {
+	case err == io.EOF:
+		// Empty file: nothing to validate.
+	case err != nil:
+		return fmt.Errorf("experiments: AppendCSV: existing content is not CSV: %w", err)
+	case len(got) > 0 && got[0] == csvHeader[0]:
+		if len(got) != len(csvHeader) {
+			return fmt.Errorf("experiments: AppendCSV: existing header has %d columns, appending %d (%v)",
+				len(got), len(csvHeader), got)
+		}
+		for i := range got {
+			if got[i] != csvHeader[i] {
+				return fmt.Errorf("experiments: AppendCSV: existing header column %d is %q, appending %q",
+					i, got[i], csvHeader[i])
+			}
+		}
+	}
+	if _, err := rs.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("experiments: AppendCSV: seek to end: %w", err)
+	}
+	return nil
 }
 
 func (c *Campaign) writeCSV(w io.Writer, header bool) error {

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 // These tests pin the engine's central guarantee: for the same Options,
-// sequential, parallel and sharded-then-concatenated campaigns produce
+// sequential, parallel and sharded-then-concatenated campaigns — and a
+// streamed campaign reordered into canonical order — produce
 // byte-identical reports and CSV.
 
 func campaignCSV(t *testing.T, o Options) string {
@@ -91,6 +93,55 @@ func TestShardedCSVConcatenatesToFullCSV(t *testing.T) {
 			t.Fatalf("%d-way sharded CSV != full CSV:\n--- full ---\n%s\n--- concat ---\n%s",
 				count, full, parts.String())
 		}
+	}
+}
+
+// TestStreamReorderedByteIdenticalToBatch pins the streaming API to the
+// batch one: collecting Session.Stream's completion-order results and
+// reordering them by Pos must reproduce Run's canonical-order campaign —
+// and with it byte-identical reports and CSV — for any worker count.
+func TestStreamReorderedByteIdenticalToBatch(t *testing.T) {
+	o := quickOptions()
+	o.Workers = 1
+	batchCSV := campaignCSV(t, o)
+	batchRep := campaignReports(t, o)
+
+	for _, workers := range []int{1, 4, 16} {
+		op := o
+		op.Workers = workers
+		s := NewSession(op)
+		cells, err := ShardCells(op.Cells(), op.Shard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs := make([]*CellResult, len(cells))
+		for res, err := range s.Stream(context.Background(), cells) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := res
+			outs[res.Pos] = &res
+		}
+		campaign := &Campaign{Options: op, Cells: cells}
+		for _, r := range outs {
+			if r == nil {
+				t.Fatal("stream dropped a cell")
+			}
+			campaign.Outcomes = append(campaign.Outcomes, r.Outcome)
+		}
+		var b strings.Builder
+		if err := campaign.WriteCSV(&b); err != nil {
+			t.Fatal(err)
+		}
+		if b.String() != batchCSV {
+			t.Fatalf("workers=%d: reordered stream CSV diverged from batch:\n--- batch ---\n%s\n--- stream ---\n%s",
+				workers, batchCSV, b.String())
+		}
+		rep := campaign.Fig4() + campaign.Fig5() + campaign.Fig6() + campaign.DetailTable() + campaign.SummaryText()
+		if rep != batchRep {
+			t.Fatalf("workers=%d: reordered stream reports diverged from batch", workers)
+		}
+		s.Close()
 	}
 }
 

@@ -1,27 +1,31 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"sync"
+	"strings"
 
+	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/stamp"
 	"repro/internal/workload"
 )
 
-// This file is the campaign execution engine: a campaign is split into
-// independent run-cells, each cell is one paired (ungated vs gated)
-// simulation, and cells execute across a worker pool. Results are merged
-// in canonical cell order, so a parallel run is byte-identical to a
-// sequential one, and a sharded run concatenates cleanly with its sibling
-// shards.
+// This file defines the campaign's unit of work — the run-cell — and the
+// pure enumeration/partitioning logic around it: canonical cell order,
+// per-cell seed derivation, and sharding. Execution lives in session.go:
+// a Session owns the worker pool, the trace cache and the checkpoint
+// sink, and every sweep in this package (campaign, scenario matrix,
+// Fig7, multi-seed, ablations) runs its cells through one.
 
 // Cell is one independently runnable unit of a campaign: a paired
 // (ungated vs gated) simulation of one application at one machine size,
 // with its own gating window, contention level and workload seed. Cells
-// carry everything needed to run them, so they can be distributed across
-// goroutines or machines without shared state.
+// carry everything needed to run them — including the machine-config
+// variant, named rather than held as a closure — so they can be
+// distributed across goroutines or machines and checkpointed to disk
+// without shared state.
 type Cell struct {
 	// Index is the cell's position in the campaign's canonical order.
 	// Results are merged by Index, which is what makes parallel and
@@ -41,11 +45,17 @@ type Cell struct {
 	Contention Contention
 	// Seed drives workload generation for this cell.
 	Seed uint64
+	// Variant optionally names a machine-config deviation (see
+	// variantConfigure): "policy=<kind>" swaps the gating-window policy,
+	// "renewal=off" disables the renewal mechanism. Naming the deviation
+	// instead of carrying a closure keeps cells serializable, which the
+	// checkpoint sink depends on.
+	Variant string
 }
 
 // Label renders the cell for figures, tables and error messages:
-// "app/NNp" for paper-campaign cells, with "/W0=N" and the contention
-// level appended when they deviate from the defaults.
+// "app/NNp" for paper-campaign cells, with "/W0=N", the contention level
+// and "[variant]" appended when they deviate from the defaults.
 func (c Cell) Label() string {
 	s := fmt.Sprintf("%s/%dp", c.App, c.Processors)
 	if c.W0 != 0 {
@@ -54,7 +64,46 @@ func (c Cell) Label() string {
 	if c.Contention != "" && c.Contention != ContentionBase {
 		s += "/" + string(c.Contention)
 	}
+	if c.Variant != "" {
+		s += "[" + c.Variant + "]"
+	}
 	return s
+}
+
+// Cell variants: the named machine-config deviations a cell may carry.
+const (
+	// VariantPolicyPrefix + a config.PolicyKind selects a gating-window
+	// policy other than the configuration default.
+	VariantPolicyPrefix = "policy="
+	// VariantRenewalOff disables the gating-period renewal mechanism.
+	VariantRenewalOff = "renewal=off"
+)
+
+// PolicyVariant names the cell variant selecting the given gating-window
+// policy.
+func PolicyVariant(pk config.PolicyKind) string {
+	return VariantPolicyPrefix + string(pk)
+}
+
+// variantConfigure resolves a cell's Variant into the machine-config
+// mutation applied to both runs of the pair. The empty variant means "no
+// deviation" and returns a nil mutator.
+func variantConfigure(v string) (func(*config.Config), error) {
+	switch {
+	case v == "":
+		return nil, nil
+	case v == VariantRenewalOff:
+		return func(c *config.Config) { c.Gating.DisableRenewal = true }, nil
+	case strings.HasPrefix(v, VariantPolicyPrefix):
+		pk := config.PolicyKind(strings.TrimPrefix(v, VariantPolicyPrefix))
+		switch pk {
+		case config.PolicyGatingAware, config.PolicyExponential,
+			config.PolicyLinear, config.PolicyFixed:
+			return func(c *config.Config) { c.Gating.Policy = pk }, nil
+		}
+		return nil, fmt.Errorf("experiments: unknown policy in cell variant %q", v)
+	}
+	return nil, fmt.Errorf("experiments: unknown cell variant %q", v)
 }
 
 // SplitMix64 is the SplitMix64 finalizer (Steele et al., "Fast splittable
@@ -151,15 +200,6 @@ func (o Options) workers() int {
 	return 1
 }
 
-// runCell executes one cell's paired simulation.
-func (o Options) runCell(c Cell) (*core.Outcome, error) {
-	rs, err := o.cellSpec(c)
-	if err != nil {
-		return nil, err
-	}
-	return core.RunPair(rs)
-}
-
 // ScaledSpec returns app's generator parameters with the transaction
 // count multiplied by scale, floored at threads. This is the one sizing
 // rule every campaign cell and public scaled-trace helper shares, so a
@@ -178,85 +218,28 @@ func ScaledSpec(app stamp.App, threads int, scale float64) (workload.Spec, error
 	return spec, nil
 }
 
-// cellSpec builds the core.RunSpec for one cell, generating a custom
-// trace when the campaign scale or the cell's contention level deviates
-// from the preset.
-func (o Options) cellSpec(c Cell) (core.RunSpec, error) {
-	rs := core.RunSpec{App: c.App, Processors: c.Processors, Seed: c.Seed, W0: c.W0}
-	scaled := o.Scale > 0 && o.Scale != 1.0
-	shaped := c.Contention != "" && c.Contention != ContentionBase
-	if !scaled && !shaped {
-		return rs, nil
-	}
-	spec, err := ScaledSpec(c.App, c.Processors, o.Scale)
-	if err != nil {
-		return core.RunSpec{}, err
-	}
-	if shaped {
-		spec = c.Contention.Apply(spec)
-	}
-	tr, err := spec.Generate(c.Processors, c.Seed)
-	if err != nil {
-		return core.RunSpec{}, err
-	}
-	rs.Trace = tr
-	return rs, nil
-}
-
-// RunCells executes the given cells across o.Workers goroutines (1 or
-// fewer means sequential) and returns outcomes in the cells' given order.
-// Each cell is self-contained, so the schedule cannot affect results:
-// for the same cells, every worker count produces identical outcomes.
-// On failure the error of the lowest-index failing cell is returned, so
-// error reporting is deterministic too.
+// RunCells executes the given cells on a one-shot Session across
+// o.Workers goroutines (1 or fewer means sequential) and returns outcomes
+// in the cells' given order. Each cell is self-contained, so the schedule
+// cannot affect results: for the same cells, every worker count produces
+// identical outcomes. On failure the error of the lowest-index failing
+// cell is returned, so error reporting is deterministic too.
+//
+// Callers running more than one sweep should create a Session themselves
+// and reuse it, which also reuses its trace cache.
 func (o Options) RunCells(cells []Cell) ([]*core.Outcome, error) {
-	outs := make([]*core.Outcome, len(cells))
-	errs := make([]error, len(cells))
-	workers := o.workers()
-	if workers > len(cells) {
-		workers = len(cells)
-	}
-	if workers <= 1 {
-		for i, c := range cells {
-			outs[i], errs[i] = o.runCell(c)
-		}
-	} else {
-		idx := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range idx {
-					outs[i], errs[i] = o.runCell(cells[i])
-				}
-			}()
-		}
-		for i := range cells {
-			idx <- i
-		}
-		close(idx)
-		wg.Wait()
-	}
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("experiments: cell %d (%s): %w", cells[i].Index, cells[i].Label(), err)
-		}
-	}
-	return outs, nil
+	s := NewSession(o)
+	defer s.Close()
+	return s.RunCells(context.Background(), cells)
 }
 
-// Run executes the campaign's (possibly sharded) cell set across the
-// configured worker pool. Sequential (Workers <= 1) and parallel runs
-// produce byte-identical reports and CSV for the same Options.
+// Run executes the campaign's (possibly sharded) cell set on a one-shot
+// Session. Sequential (Workers <= 1) and parallel runs produce
+// byte-identical reports and CSV for the same Options. Run wraps
+// NewSession(o).Run(context.Background()); use a Session directly for
+// streaming results, cancellation, or checkpoint/resume.
 func Run(o Options) (*Campaign, error) {
-	cells, err := ShardCells(o.Cells(), o.Shard)
-	if err != nil {
-		return nil, err
-	}
-	outs, err := o.RunCells(cells)
-	if err != nil {
-		return nil, err
-	}
-	return &Campaign{Options: o, Cells: cells, Outcomes: outs}, nil
+	s := NewSession(o)
+	defer s.Close()
+	return s.Run(context.Background())
 }

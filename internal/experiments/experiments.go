@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cacti"
@@ -43,6 +44,10 @@ type Options struct {
 	// cells, for splitting a campaign across machines. The zero value
 	// runs everything.
 	Shard Shard
+	// NoTraceCache disables the session's workload-trace cache, forcing
+	// every cell to regenerate its trace. Results are identical either
+	// way; this exists for benchmarks and debugging, not production use.
+	NoTraceCache bool
 }
 
 // DefaultOptions returns the paper's campaign: genome/yada/intruder on
@@ -63,10 +68,6 @@ func (o Options) apps() []stamp.App {
 		return o.Apps
 	}
 	return stamp.PaperApps()
-}
-
-func (o Options) runSpec(app stamp.App, np int) (core.RunSpec, error) {
-	return o.cellSpec(Cell{App: app, Processors: np, W0: o.W0, Seed: o.Seed})
 }
 
 // TableI renders the power model derivation (paper Table I).
@@ -263,19 +264,17 @@ func (c *Campaign) DetailTable() string {
 // Fig7W0Values is the W0 sweep of Figure 7.
 var Fig7W0Values = []sim.Time{2, 4, 8, 16, 32}
 
-// Fig7 runs the speed-up sensitivity analysis over W0 and the processor
-// count (paper Figure 7). Speed-ups are averaged over the campaign's
-// applications for each (W0, Np) point. The sweep's 3x5x|apps| paired
-// runs execute as one cell set on the engine's worker pool. Every cell
-// shares the campaign seed: the workload of a (app, Np) point must be
-// identical across the W0 axis, or the sweep would confound gating
-// sensitivity with workload randomness.
-func Fig7(o Options) (string, error) {
-	apps := o.apps()
+// fig7Cells enumerates the W0/Np sensitivity sweep as run-cells. Every
+// cell shares the campaign seed: the workload of a (app, Np) point must
+// be identical across the W0 axis, or the sweep would confound gating
+// sensitivity with workload randomness. Because the session's trace cache
+// keys on (app, threads, seed) and not on W0, each (app, Np) workload is
+// generated once and shared across the whole W0 axis.
+func fig7Cells(o Options) []Cell {
 	var cells []Cell
 	for _, np := range o.processors() {
 		for _, w0 := range Fig7W0Values {
-			for _, app := range apps {
+			for _, app := range o.apps() {
 				cells = append(cells, Cell{
 					Index:      len(cells),
 					App:        app,
@@ -287,7 +286,27 @@ func Fig7(o Options) (string, error) {
 			}
 		}
 	}
-	outs, err := o.RunCells(cells)
+	return cells
+}
+
+// Fig7 runs the speed-up sensitivity analysis over W0 and the processor
+// count (paper Figure 7) on a one-shot Session; see Session.Fig7.
+func Fig7(o Options) (string, error) {
+	s := NewSession(o)
+	defer s.Close()
+	return s.Fig7(context.Background())
+}
+
+// Fig7 runs the W0/Np speed-up sensitivity sweep (paper Figure 7).
+// Speed-ups are averaged over the campaign's applications for each
+// (W0, Np) point. The sweep's |Np|x5x|apps| paired runs execute as one
+// cell set on the session's worker pool, sharing one cached trace per
+// (app, Np) point across the W0 axis.
+func (s *Session) Fig7(ctx context.Context) (string, error) {
+	o := s.opts
+	apps := o.apps()
+	cells := fig7Cells(o)
+	outs, err := s.RunCells(ctx, cells)
 	if err != nil {
 		return "", fmt.Errorf("experiments: fig7: %w", err)
 	}

@@ -122,12 +122,13 @@ func TestFig7Runs(t *testing.T) {
 
 func TestScaleReducesWork(t *testing.T) {
 	o := quickOptions()
-	rsSmall, err := o.runSpec(stamp.Intruder, 2)
+	cell := Cell{App: stamp.Intruder, Processors: 2, Seed: o.Seed}
+	rsSmall, err := NewSession(o).cellSpec(cell)
 	if err != nil {
 		t.Fatal(err)
 	}
 	o.Scale = 0.5
-	rsBig, err := o.runSpec(stamp.Intruder, 2)
+	rsBig, err := NewSession(o).cellSpec(cell)
 	if err != nil {
 		t.Fatal(err)
 	}

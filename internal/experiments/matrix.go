@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -131,14 +132,26 @@ func (s Scenario) Category() string {
 }
 
 // CheckPoint states what the executing E2E test asserts for the case.
+// Every executed case also carries the gating-counter invariants —
+// renewals imply gatings, self-aborts never exceed wake-ups, a
+// uniprocessor never gates — with a contention-specific sharpening: high
+// contention on a multiprocessor must actually exercise the gating path.
 func (s Scenario) CheckPoint() string {
+	const counters = "gating-counter invariants (renewals=0 without gatings, self-aborts <= ungates)"
 	switch s.Category() {
 	case "contention":
-		return "paired run completes at a shifted contention level; metrics finite (the knob itself is asserted pairwise in engine tests)"
+		switch s.Contention {
+		case ContentionHigh:
+			return "paired run completes at raised contention; metrics finite; " + counters +
+				"; gated run actually gates (gatings > 0)"
+		default:
+			return "paired run completes at lowered contention; metrics finite; " + counters +
+				" (the knob itself is asserted pairwise in engine tests)"
+		}
 	case "w0 sweep":
-		return "paired run completes at a non-default gating window; metrics finite"
+		return "paired run completes at a non-default gating window; metrics finite; " + counters
 	default:
-		return "paired run completes; cycles and energy positive and finite"
+		return "paired run completes; cycles and energy positive and finite; " + counters
 	}
 }
 
@@ -161,18 +174,22 @@ func (s Scenario) Priority() string {
 func (s Scenario) Done() bool {
 	base := s.Contention == ContentionBase
 	defW0 := s.W0 == matrixDefaultW0
+	paper := isPaperApp(s.App)
 	switch {
 	// Every application at small machine sizes, paper defaults.
 	case base && defW0 && s.Processors <= 8:
 		return true
-	// The high-conflict app proves out the large machine sizes.
+	// Every application proves out 16 cores at paper defaults; the
+	// high-conflict app additionally covers 32.
+	case base && defW0 && s.Processors == 16:
+		return true
 	case base && defW0 && s.App == stamp.Intruder:
 		return true
-	// W0 sweep on the high-conflict app at 8 cores.
-	case base && s.App == stamp.Intruder && s.Processors == 8:
+	// W0 sweep on every paper app at 8 cores.
+	case base && s.Processors == 8 && paper:
 		return true
-	// Contention sweep on one high- and one low-conflict app at 8 cores.
-	case defW0 && s.Processors == 8 && (s.App == stamp.Intruder || s.App == stamp.Genome):
+	// Contention sweep on every paper app at 8 cores.
+	case defW0 && s.Processors == 8 && paper:
 		return true
 	}
 	return false
@@ -271,20 +288,30 @@ func DoneScenarios() []Scenario {
 	return out
 }
 
-// RunScenarios executes the given scenarios as one campaign on the
-// engine's worker pool (honoring o.Workers and o.Shard). Scenario seeds
-// derive from o.Seed and each scenario's matrix ordinal; o.Scale applies
-// as usual. Figures, tables and CSV label rows by case id.
+// RunScenarios executes the given scenario-matrix cases on a one-shot
+// Session; see Session.RunScenarios.
 func RunScenarios(o Options, scenarios []Scenario) (*Campaign, error) {
+	s := NewSession(o)
+	defer s.Close()
+	return s.RunScenarios(context.Background(), scenarios)
+}
+
+// RunScenarios executes the given scenarios as one campaign on the
+// session's worker pool (honoring the options' Workers and Shard).
+// Scenario seeds derive from the campaign seed and each scenario's matrix
+// ordinal; Scale applies as usual. Figures, tables and CSV label rows by
+// case id.
+func (s *Session) RunScenarios(ctx context.Context, scenarios []Scenario) (*Campaign, error) {
+	o := s.opts
 	cells := make([]Cell, len(scenarios))
-	for i, s := range scenarios {
-		cells[i] = s.Cell(i, o.Seed)
+	for i, sc := range scenarios {
+		cells[i] = sc.Cell(i, o.Seed)
 	}
 	cells, err := ShardCells(cells, o.Shard)
 	if err != nil {
 		return nil, err
 	}
-	outs, err := o.RunCells(cells)
+	outs, err := s.RunCells(ctx, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -328,17 +355,27 @@ func E2EDoc() string {
 	}
 	return fmt.Sprintf(`# E2E scenario matrix
 
-This table enumerates every scenario the campaign engine can run: each
-STAMP preset at 1-32 processors, gating windows W0 of 2/8/32 cycles, and
-low/base/high workload contention. Cases are addressable by id:
+This table enumerates every scenario the streaming session engine can
+run: each STAMP preset at 1-32 processors, gating windows W0 of 2/8/32
+cycles, and low/base/high workload contention. Every sweep — this matrix,
+the paper campaign, Fig7, multi-seed, the ablations — executes as
+run-cells on one clockgate.Session, which owns the worker pool, the
+per-workload trace cache, and the optional JSONL checkpoint sink behind
+-resume. Cases are addressable by id:
 
     go run ./cmd/experiments -matrix M00042,M00049 -detail
     go run ./cmd/experiments -matrix done -detail      # every executed case
     go run ./cmd/experiments -matrix-list              # this table as text
+    go run ./cmd/experiments -matrix all -csv out.csv -resume ckpt.jsonl
+        # interruptible: re-running restarts at the first incomplete cell
 
 Every case with status "done" (%d of %d) is executed at reduced scale by
-e2e_test.go on each CI run; "NA" cases are runnable on demand but not
-exercised in CI. This file is generated — regenerate it with
+e2e_test.go on each CI run — as one streamed campaign whose results are
+reordered into canonical order, which the engine guarantees is
+byte-identical to a batch run. Each executed case asserts its check-point
+column, including the per-contention-level gating-counter invariants.
+"NA" cases are runnable on demand but not exercised in CI. This file is
+generated — regenerate it with
 
     go run ./cmd/experiments -e2e-doc > docs/E2E.md
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -80,14 +81,17 @@ func TestContentionShapesAborts(t *testing.T) {
 	// sit at the abort ceiling, where concentrating the hot set further
 	// shortens transactions and can reduce overlap.)
 	o := Options{Seed: 7, Scale: 0.1}
+	s := NewSession(o)
+	defer s.Close()
 	for _, app := range []stamp.App{stamp.Intruder, stamp.Genome} {
 		aborts := map[Contention]uint64{}
 		for _, lvl := range ContentionLevels() {
-			out, err := o.runCell(Cell{App: app, Processors: 8, Seed: 7, Contention: lvl})
+			outs, err := s.RunCells(context.Background(),
+				[]Cell{{App: app, Processors: 8, Seed: 7, Contention: lvl}})
 			if err != nil {
 				t.Fatalf("%s/%s: %v", app, lvl, err)
 			}
-			aborts[lvl] = out.Ungated.Counters.Aborts
+			aborts[lvl] = outs[0].Ungated.Counters.Aborts
 		}
 		if aborts[ContentionLow] >= aborts[ContentionBase] || aborts[ContentionLow] >= aborts[ContentionHigh] {
 			t.Errorf("%s: low contention does not conflict least: low=%d base=%d high=%d",

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -44,28 +45,59 @@ type MultiSeedSummary struct {
 	Slowdowns []int
 }
 
+// MultiSeed runs the multi-seed aggregation on a one-shot Session; see
+// Session.MultiSeed.
+func MultiSeed(o Options, seeds []uint64) (*MultiSeedSummary, error) {
+	s := NewSession(o)
+	defer s.Close()
+	return s.MultiSeed(context.Background(), seeds)
+}
+
 // MultiSeed runs the full campaign once per seed and aggregates the
 // headline metrics, quantifying how sensitive the results are to the
 // workload randomness (the paper reports single runs; this is the
-// reproduction's error bar).
-func MultiSeed(o Options, seeds []uint64) (*MultiSeedSummary, error) {
+// reproduction's error bar). The per-seed campaigns execute as one
+// combined cell set on the session's worker pool, so cells from
+// different seeds run concurrently instead of seed-by-seed.
+func (s *Session) MultiSeed(ctx context.Context, seeds []uint64) (*MultiSeedSummary, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("experiments: MultiSeed needs at least one seed")
 	}
-	ms := &MultiSeedSummary{Seeds: seeds}
-	var speed, energy, powr []float64
-	for _, seed := range seeds {
-		opt := o
+	// One flat cell list across every seed; starts[i] is where seed i's
+	// campaign begins, so outcomes slice back into per-seed campaigns.
+	var all []Cell
+	starts := make([]int, len(seeds))
+	perSeed := make([][]Cell, len(seeds))
+	for i, seed := range seeds {
+		opt := s.opts
 		opt.Seed = seed
-		c, err := Run(opt)
+		cells, err := ShardCells(opt.Cells(), opt.Shard)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: seed %d: %w", seed, err)
 		}
-		s := c.Summarize()
-		speed = append(speed, s.AvgSpeedUp)
-		energy = append(energy, s.AvgEnergyReduction)
-		powr = append(powr, s.AvgPowerReduction)
-		ms.Slowdowns = append(ms.Slowdowns, s.Slowdowns)
+		starts[i] = len(all)
+		perSeed[i] = cells
+		all = append(all, cells...)
+	}
+	outs, err := s.RunCells(ctx, all)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: multi-seed campaign: %w", err)
+	}
+	ms := &MultiSeedSummary{Seeds: seeds}
+	var speed, energy, powr []float64
+	for i := range seeds {
+		opt := s.opts
+		opt.Seed = seeds[i]
+		c := &Campaign{
+			Options:  opt,
+			Cells:    perSeed[i],
+			Outcomes: outs[starts[i] : starts[i]+len(perSeed[i])],
+		}
+		sum := c.Summarize()
+		speed = append(speed, sum.AvgSpeedUp)
+		energy = append(energy, sum.AvgEnergyReduction)
+		powr = append(powr, sum.AvgPowerReduction)
+		ms.Slowdowns = append(ms.Slowdowns, sum.Slowdowns)
 	}
 	ms.SpeedUp = newSeedStats(speed)
 	ms.EnergyReduction = newSeedStats(energy)

@@ -1,0 +1,387 @@
+package experiments
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"iter"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/stamp"
+	"repro/internal/workload"
+)
+
+// Session is the campaign execution engine behind every sweep in this
+// package: a long-lived runner that owns a worker pool (Options.Workers
+// goroutines, started lazily), a per-(app, threads, scale, contention,
+// seed) trace cache, and an optional JSONL checkpoint sink. Create one
+// with NewSession, run any number of sweeps on it — Run, RunCells,
+// Stream, RunScenarios, Fig7, MultiSeed, Ablations — and Close it when
+// done.
+//
+// Two execution shapes share one engine. Stream yields per-cell results
+// in completion order, as they finish; Run and RunCells collect the same
+// results and merge them in canonical cell order, so batch output is
+// byte-identical for every worker count. Reordering a stream by
+// CellResult.Pos reproduces the batch exactly.
+type Session struct {
+	opts Options
+
+	poolOnce sync.Once
+	tasks    chan func()
+	poolStop chan struct{}
+	closed   sync.Once
+
+	traceMu sync.Mutex
+	traces  map[traceKey]*traceEntry
+
+	ckpt *Checkpoint
+}
+
+// NewSession creates a session for the given options. The worker pool
+// starts lazily on first use; Close releases it.
+func NewSession(o Options) *Session {
+	return &Session{
+		opts:     o,
+		tasks:    make(chan func()),
+		poolStop: make(chan struct{}),
+		traces:   make(map[traceKey]*traceEntry),
+	}
+}
+
+// Options returns the options the session was created with.
+func (s *Session) Options() Options { return s.opts }
+
+// Close stops the worker pool and closes the checkpoint sink, if any.
+// Close waits for no in-flight work; finish or cancel streams first.
+func (s *Session) Close() error {
+	var err error
+	s.closed.Do(func() {
+		close(s.poolStop)
+		if s.ckpt != nil {
+			err = s.ckpt.Close()
+		}
+	})
+	return err
+}
+
+// SetCheckpoint attaches a JSONL checkpoint sink at path: every completed
+// cell is appended as one JSON line, and cells already recorded there are
+// restored without re-running. An interrupted campaign re-run with the
+// same options and checkpoint path therefore restarts at the first
+// incomplete cell and produces output identical to an uninterrupted run.
+// The file is validated against the session's options fingerprint, so a
+// checkpoint cannot silently resume a different campaign.
+func (s *Session) SetCheckpoint(path string) error {
+	ck, err := OpenCheckpoint(path, s.opts.Fingerprint())
+	if err != nil {
+		return err
+	}
+	s.ckpt = ck
+	return nil
+}
+
+// Checkpoint returns the attached checkpoint sink, or nil.
+func (s *Session) Checkpoint() *Checkpoint { return s.ckpt }
+
+// Fingerprint identifies the result-relevant option fields (everything
+// except parallelism and cache knobs, which cannot change results). The
+// checkpoint sink stores it so a resume onto different options fails
+// loudly instead of mixing campaigns. Zero-value sentinels are
+// normalized to the defaults they select (Scale 0 -> 1.0, W0 0 -> the
+// default window), so spelling an option out never invalidates a
+// checkpoint written with it defaulted.
+func (o Options) Fingerprint() string {
+	scale := o.Scale
+	if scale == 0 {
+		scale = 1.0
+	}
+	w0 := o.W0
+	if w0 == 0 {
+		w0 = matrixDefaultW0
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "seed=%d scale=%g w0=%d derive=%t shard=%d/%d apps=%v procs=%v",
+		o.Seed, scale, w0, o.DeriveSeeds, o.Shard.Index, o.Shard.Count,
+		o.apps(), o.processors())
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
+
+// startPool launches the worker goroutines. They live until Close.
+func (s *Session) startPool() {
+	for w := 0; w < s.opts.workers(); w++ {
+		go func() {
+			for {
+				select {
+				case f := <-s.tasks:
+					f()
+				case <-s.poolStop:
+					return
+				}
+			}
+		}()
+	}
+}
+
+// submit hands f to the pool, blocking while all workers are busy. After
+// Close the task runs inline so pending dispatch can still drain.
+func (s *Session) submit(f func()) {
+	s.poolOnce.Do(s.startPool)
+	select {
+	case s.tasks <- f:
+	case <-s.poolStop:
+		f()
+	}
+}
+
+// CellResult is one completed cell of a streamed campaign.
+type CellResult struct {
+	// Pos is the cell's position in the slice passed to Stream/RunCells.
+	// Sorting streamed results by Pos reproduces the batch order, and
+	// with it the byte-identical batch reports and CSV.
+	Pos int
+	// Cell is the cell that ran.
+	Cell Cell
+	// Outcome is the paired-run result; nil when Err is set.
+	Outcome *core.Outcome
+	// Restored marks a result replayed from the checkpoint sink instead
+	// of simulated in this process.
+	Restored bool
+	// Err is the cell's failure, if any. The iterator form of Stream
+	// yields it as the second value instead.
+	Err error
+}
+
+// StreamChan is the channel form of Stream: it launches the cells on the
+// worker pool and returns a channel delivering each cell's result as it
+// completes (completion order, not canonical order). The channel closes
+// once every launched cell has been delivered or the context is canceled.
+// The caller must drain the channel or cancel ctx; an abandoned,
+// uncancelled stream would hold pool workers forever.
+func (s *Session) StreamChan(ctx context.Context, cells []Cell) <-chan CellResult {
+	out := make(chan CellResult)
+	go func() {
+		defer close(out)
+		var wg sync.WaitGroup
+		for pos, c := range cells {
+			if ctx.Err() != nil {
+				break
+			}
+			pos, c := pos, c
+			wg.Add(1)
+			s.submit(func() {
+				defer wg.Done()
+				res := s.runCell(ctx, pos, c)
+				select {
+				case out <- res:
+				case <-ctx.Done():
+				}
+			})
+		}
+		wg.Wait()
+	}()
+	return out
+}
+
+// Stream executes the cells on the worker pool and yields each result as
+// it completes, in completion order. A cell that fails yields its error
+// and the stream continues; when ctx is canceled the stream stops
+// promptly and yields a final (CellResult{Pos: -1}, ctx.Err()). Breaking
+// out of the loop cancels the remaining cells. Collecting the results and
+// sorting by Pos reproduces Run's canonical-order output exactly.
+func (s *Session) Stream(ctx context.Context, cells []Cell) iter.Seq2[CellResult, error] {
+	return func(yield func(CellResult, error) bool) {
+		ictx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		ch := s.StreamChan(ictx, cells)
+		for res := range ch {
+			if ctx.Err() != nil {
+				break
+			}
+			if !yield(res, res.Err) {
+				// Consumer stopped: cancel outstanding cells and drain
+				// the channel so no pool worker stays blocked on send.
+				cancel()
+				for range ch {
+				}
+				return
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			yield(CellResult{Pos: -1}, err)
+		}
+	}
+}
+
+// RunCells executes the cells and returns their outcomes in the given
+// (canonical) order — the batch form of Stream. For the same cells every
+// worker count produces identical outcomes, and on failure the error of
+// the lowest-position failing cell is returned, so error reporting is
+// deterministic too.
+func (s *Session) RunCells(ctx context.Context, cells []Cell) ([]*core.Outcome, error) {
+	outs := make([]*core.Outcome, len(cells))
+	errs := make([]error, len(cells))
+	for res := range s.StreamChan(ctx, cells) {
+		outs[res.Pos], errs[res.Pos] = res.Outcome, res.Err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: cell %d (%s): %w", cells[i].Index, cells[i].Label(), err)
+		}
+	}
+	return outs, nil
+}
+
+// Run executes the session's configured campaign — the options' cell
+// grid, restricted to the options' shard — and returns it in canonical
+// cell order.
+func (s *Session) Run(ctx context.Context) (*Campaign, error) {
+	cells, err := ShardCells(s.opts.Cells(), s.opts.Shard)
+	if err != nil {
+		return nil, err
+	}
+	outs, err := s.RunCells(ctx, cells)
+	if err != nil {
+		return nil, err
+	}
+	return &Campaign{Options: s.opts, Cells: cells, Outcomes: outs}, nil
+}
+
+// runCell produces one cell's result: restored from the checkpoint when
+// present there, simulated (and recorded) otherwise.
+func (s *Session) runCell(ctx context.Context, pos int, c Cell) CellResult {
+	res := CellResult{Pos: pos, Cell: c}
+	if s.ckpt != nil {
+		if out, ok := s.ckpt.Lookup(c); ok {
+			res.Outcome, res.Restored = out, true
+			return res
+		}
+	}
+	rs, err := s.cellSpec(c)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	out, err := core.RunPairCtx(ctx, rs)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Outcome = out
+	if s.ckpt != nil {
+		if err := s.ckpt.Record(c, out); err != nil {
+			res.Err = fmt.Errorf("checkpoint: %w", err)
+		}
+	}
+	return res
+}
+
+// cellSpec builds the core.RunSpec for one cell: the trace from the
+// session cache and the machine-config mutation from the cell's variant.
+func (s *Session) cellSpec(c Cell) (core.RunSpec, error) {
+	rs := core.RunSpec{App: c.App, Processors: c.Processors, Seed: c.Seed, W0: c.W0}
+	configure, err := variantConfigure(c.Variant)
+	if err != nil {
+		return core.RunSpec{}, err
+	}
+	rs.Configure = configure
+	tr, err := s.trace(c)
+	if err != nil {
+		return core.RunSpec{}, err
+	}
+	rs.Trace = tr
+	return rs, nil
+}
+
+// traceKey identifies a generated trace. W0 and the variant are absent on
+// purpose: they change the machine, never the workload, which is what
+// lets Fig7's W0 sweep and the ablation suite share one trace per
+// (app, threads, seed) point.
+type traceKey struct {
+	app        stamp.App
+	threads    int
+	scale      float64
+	contention Contention
+	seed       uint64
+}
+
+// traceEntry is a once-guarded cache slot, so concurrent cells needing
+// the same trace generate it exactly once and share the result. Traces
+// are read-only during simulation (RunPair already shares one trace
+// across both runs of a pair), so sharing across concurrent cells is
+// safe.
+type traceEntry struct {
+	once sync.Once
+	tr   *workload.Trace
+	err  error
+}
+
+// maxCachedTraces bounds the session trace cache. Sweeps that profit
+// from the cache (Fig7's W0 axis, ablation variants, the paired-run
+// sharing inside a cell) need only a handful of workload keys live at
+// once; a long multi-seed campaign would otherwise accumulate every
+// seed's traces until Close. Above the bound an arbitrary entry is
+// evicted — regeneration is deterministic, so eviction can never change
+// results, only cost a re-generation.
+const maxCachedTraces = 64
+
+// trace returns the cell's workload trace, generating it on first use and
+// serving every later request for the same (app, threads, scale,
+// contention, seed) from the cache.
+func (s *Session) trace(c Cell) (*workload.Trace, error) {
+	if s.opts.NoTraceCache {
+		return generateCellTrace(s.opts.Scale, c)
+	}
+	scale := s.opts.Scale
+	if scale == 0 {
+		scale = 1.0
+	}
+	key := traceKey{
+		app:        c.App,
+		threads:    c.Processors,
+		scale:      scale,
+		contention: c.contentionOrBase(),
+		seed:       c.Seed,
+	}
+	s.traceMu.Lock()
+	e, ok := s.traces[key]
+	if !ok {
+		if len(s.traces) >= maxCachedTraces {
+			for k := range s.traces {
+				delete(s.traces, k)
+				break
+			}
+		}
+		e = &traceEntry{}
+		s.traces[key] = e
+	}
+	s.traceMu.Unlock()
+	e.once.Do(func() {
+		e.tr, e.err = generateCellTrace(s.opts.Scale, c)
+	})
+	return e.tr, e.err
+}
+
+// generateCellTrace builds the cell's trace exactly as an uncached run
+// would: the plain preset for base contention at full scale, the
+// scaled/contention-shaped spec otherwise.
+func generateCellTrace(scale float64, c Cell) (*workload.Trace, error) {
+	scaled := scale > 0 && scale != 1.0
+	shaped := c.Contention != "" && c.Contention != ContentionBase
+	if !scaled && !shaped {
+		return stamp.Generate(c.App, c.Processors, c.Seed)
+	}
+	spec, err := ScaledSpec(c.App, c.Processors, scale)
+	if err != nil {
+		return nil, err
+	}
+	if shaped {
+		spec = c.Contention.Apply(spec)
+	}
+	return spec.Generate(c.Processors, c.Seed)
+}

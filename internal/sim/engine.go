@@ -144,6 +144,39 @@ func (e *Engine) Run() Time {
 	return e.now
 }
 
+// RunUntilChecked is RunUntil with a cancellation hook: check is polled
+// once every `every` executed events (every <= 0 selects a default of
+// 4096) and a non-nil return stops execution immediately with that error.
+// With a nil check it behaves exactly like RunUntil. The hook is polled on
+// event-count boundaries, not wall-clock, so a run that was not canceled
+// executes the identical event sequence as an unchecked one.
+func (e *Engine) RunUntilChecked(limit Time, every int, check func() error) (Time, error) {
+	if check == nil {
+		return e.RunUntil(limit), nil
+	}
+	if every <= 0 {
+		every = 4096
+	}
+	n := 0
+	for !e.stopped && len(e.queue) > 0 {
+		next := e.peek()
+		if next == nil || next.At > limit {
+			break
+		}
+		e.Step()
+		if n++; n >= every {
+			n = 0
+			if err := check(); err != nil {
+				return e.now, err
+			}
+		}
+	}
+	if e.now > limit {
+		panic("sim: RunUntilChecked overshot limit")
+	}
+	return e.now, nil
+}
+
 // RunUntil executes events with time ≤ limit. Events scheduled beyond the
 // limit remain queued. It returns the final simulation time, which never
 // exceeds limit.

@@ -163,6 +163,37 @@ func (l *Ledger) TotalResidency(from, to sim.Time) [NumStates]sim.Time {
 	return tot
 }
 
+// ResidencyTotals returns each processor's per-state residency over the
+// full closed timeline [0, End()) — the aggregate every whole-run energy
+// computation reduces the ledger to. Only valid after Close.
+func (l *Ledger) ResidencyTotals() [][NumStates]sim.Time {
+	return l.Residency(0, l.endTime)
+}
+
+// RestoreLedger rebuilds a closed ledger from per-processor residency
+// totals and the close time, for replaying persisted results. The
+// synthetic timeline lays each state's total out as one contiguous
+// segment per processor, so whole-run aggregates (Residency and
+// TotalResidency over [0, End()), and with them every energy figure) are
+// reproduced exactly; the original interleaving is not, so windowed
+// queries over a restored ledger are meaningless.
+func RestoreLedger(perProc [][NumStates]sim.Time, end sim.Time) *Ledger {
+	l := NewLedger(len(perProc))
+	for p, totals := range perProc {
+		at := sim.Time(0)
+		for s := 0; s < NumStates; s++ {
+			if totals[s] == 0 {
+				continue
+			}
+			l.segments[p] = append(l.segments[p], Segment{State: State(s), From: at, To: at + totals[s]})
+			at += totals[s]
+		}
+	}
+	l.closed = true
+	l.endTime = end
+	return l
+}
+
 // Counters aggregates protocol events for one run.
 type Counters struct {
 	Commits          uint64 // transactions committed

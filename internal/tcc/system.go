@@ -35,7 +35,15 @@ type System struct {
 	tryGrantQueued bool
 	traceName      string
 	rec            *trace.Recorder
+	cancel         func() error
 }
+
+// SetCancel installs a hook polled periodically (on event-count
+// boundaries) while Run executes; when it returns a non-nil error the
+// simulation stops and Run returns that error. This is how context
+// cancellation reaches a run in flight. A nil hook (the default) adds no
+// per-event overhead.
+func (s *System) SetCancel(f func() error) { s.cancel = f }
 
 // NewSystem builds a machine from the configuration and wires the trace's
 // threads onto the processors. The trace must have exactly
@@ -235,7 +243,9 @@ func (s *System) Run() (*Result, error) {
 	if limit <= 0 {
 		limit = sim.MaxTime
 	}
-	s.eng.RunUntil(limit)
+	if _, err := s.eng.RunUntilChecked(limit, 0, s.cancel); err != nil {
+		return nil, err
+	}
 	if s.done != len(s.procs) {
 		if s.eng.Now() >= limit {
 			return nil, fmt.Errorf("tcc: simulation exceeded MaxCycles=%d with %d/%d threads done",
