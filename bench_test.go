@@ -280,3 +280,22 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkEngineHotPath is the headline simulation-hot-path number: one
+// paired (ungated + gated) run-cell of the high-conflict preset on a
+// 32-processor machine, trace pre-generated so only the simulators are
+// measured. cells/s is what a campaign worker can sustain at 32p.
+func BenchmarkEngineHotPath(b *testing.B) {
+	for _, np := range []int{8, 32} {
+		b.Run(fmt.Sprintf("np%d", np), func(b *testing.B) {
+			rs := benchSpec(b, stamp.Intruder, np, 0)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RunPair(rs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+		})
+	}
+}

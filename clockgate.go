@@ -78,8 +78,11 @@
 //	experiments -ablations       -> NewSession(opts).Ablations(ctx)
 //
 // Beyond the paper's grid, the scenario matrix names every runnable case
-// — each STAMP preset at 1–32 processors, several gating windows and
-// contention levels — as addressable case IDs (see docs/E2E.md):
+// — each STAMP preset at 1–128 processors, several gating windows and
+// contention levels — as addressable case IDs (see docs/E2E.md). Case
+// IDs are append-only: the original 1–32 processor grid keeps
+// M00001–M00432, and the 48/64/96/128-processor scale block is appended
+// as M00433–M00720:
 //
 //	sc, _ := clockgate.ScenarioByID("M00042")
 //	campaign, err := clockgate.RunScenarios(opts, []clockgate.Scenario{sc})
@@ -134,8 +137,15 @@ type Trace = workload.Trace
 // Config re-exports the full machine + gating configuration.
 type Config = config.Config
 
+// MaxProcessors is the widest machine the simulator models: the
+// directories keep full-bit-vector sharer sets in two 64-bit words, so
+// the scale axis tops out at 128 cores.
+const MaxProcessors = config.MaxProcessors
+
 // DefaultConfig returns the paper's Table II machine for the given core
-// count, gating disabled.
+// count, gating disabled. Core counts up to MaxProcessors validate; the
+// 64- and 128-processor scale points are also available as
+// config presets (config.Default64 / config.Default128).
 func DefaultConfig(processors int) Config { return config.Default(processors) }
 
 // PowerModel re-exports the Table I power model.
@@ -346,6 +356,18 @@ const (
 // ScenarioMatrix returns every scenario the engine can run, in canonical
 // order; docs/E2E.md is generated from this list.
 func ScenarioMatrix() []Scenario { return experiments.Matrix() }
+
+// MatrixProcessors returns the scenario matrix's legacy processor axis
+// (1–32 cores, case IDs M00001–M00432).
+func MatrixProcessors() []int {
+	return append([]int(nil), experiments.MatrixProcessors...)
+}
+
+// MatrixExtensionProcessors returns the appended scale axis (48–128
+// cores, case IDs M00433–M00720).
+func MatrixExtensionProcessors() []int {
+	return append([]int(nil), experiments.MatrixExtensionProcessors...)
+}
 
 // ScenarioByID resolves a case id such as "M00042".
 func ScenarioByID(id string) (Scenario, bool) { return experiments.ScenarioByID(id) }

@@ -1,0 +1,124 @@
+// Command benchsnap records the engine's perf trajectory: it benchmarks
+// the simulation hot path (calendar-queue engine, batched bus, a full
+// 32-processor paired run-cell) with testing.Benchmark and writes the
+// numbers as one JSON document, BENCH_engine.json by convention. CI runs
+// it in the bench smoke step so every build leaves a machine-readable
+// perf record next to the logs.
+//
+//	go run ./cmd/benchsnap -out BENCH_engine.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stamp"
+)
+
+// snapshot is the BENCH_engine.json schema.
+type snapshot struct {
+	Schema  string             `json:"schema"`
+	Go      string             `json:"go"`
+	NumCPU  int                `json:"num_cpu"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_engine.json", "output path for the JSON perf record")
+	flag.Parse()
+
+	m := map[string]float64{}
+
+	// Raw event throughput: the self-scheduling cascade the processor
+	// model produces, on a warm engine.
+	{
+		const chain = 100_000
+		r := testing.Benchmark(func(b *testing.B) {
+			e := sim.NewEngine()
+			n := 0
+			var next func()
+			next = func() {
+				n++
+				if n%chain != 0 {
+					e.ScheduleAfter(1, next)
+				}
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				e.ScheduleAfter(1, next)
+				e.Run()
+			}
+		})
+		m["engine_events_per_sec"] = float64(chain) / r.T.Seconds() * float64(r.N)
+		m["engine_allocs_per_event"] = float64(r.AllocsPerOp()) / chain
+	}
+
+	// Steady-state allocation guard value (the sim test asserts 0; the
+	// snapshot records it so a regression is visible in the trajectory
+	// even before the test flips).
+	{
+		e := sim.NewEngine()
+		fn := func() {}
+		work := func() {
+			for i := 0; i < 64; i++ {
+				e.ScheduleAfter(sim.Time(i%37), fn)
+			}
+			e.Run()
+		}
+		for i := 0; i < 512; i++ {
+			work()
+		}
+		m["engine_steady_allocs_per_burst"] = testing.AllocsPerRun(50, work)
+	}
+
+	// The headline: one paired (ungated + gated) 32-processor run-cell of
+	// the high-conflict preset, trace pre-generated.
+	{
+		spec := stamp.MustSpec(stamp.Intruder)
+		spec.TotalTxs /= 4
+		tr, err := spec.Generate(32, 42)
+		if err != nil {
+			fatal(err)
+		}
+		rs := core.RunSpec{Trace: tr, Processors: 32, Seed: 42}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RunPair(rs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		m["cell_32p_ns"] = float64(r.NsPerOp())
+		m["cell_32p_cells_per_sec"] = 1e9 / float64(r.NsPerOp())
+		m["cell_32p_allocs"] = float64(r.AllocsPerOp())
+		m["cell_32p_bytes"] = float64(r.AllocedBytesPerOp())
+	}
+
+	snap := snapshot{
+		Schema:  "bench_engine/v1",
+		Go:      runtime.Version(),
+		NumCPU:  runtime.NumCPU(),
+		Metrics: m,
+	}
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n%s", *out, buf)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchsnap:", err)
+	os.Exit(1)
+}

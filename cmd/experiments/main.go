@@ -34,6 +34,7 @@ import (
 	"strings"
 	"syscall"
 
+	"repro/internal/config"
 	"repro/internal/experiments"
 )
 
@@ -56,6 +57,7 @@ func main() {
 		seed       = flag.Uint64("seed", 42, "workload generation seed")
 		scale      = flag.Float64("scale", 1.0, "workload size multiplier")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "campaign worker goroutines (1 = sequential; output is identical either way)")
+		procs      = flag.String("procs", "", "comma-separated processor counts overriding the paper's 4,8,16 sweep (up to 128, e.g. \"32,64,128\")")
 		shardSpec  = flag.String("shard", "", "run only shard i of n campaign cells, as \"i/n\"; shard CSVs concatenate cleanly (only shard 0 writes the header)")
 		matrix     = flag.String("matrix", "", "run scenario-matrix cases: comma-separated ids/names, \"done\", or \"all\"")
 		matrixList = flag.Bool("matrix-list", false, "list every scenario-matrix case")
@@ -88,6 +90,13 @@ func main() {
 	opts.Seed = *seed
 	opts.Scale = *scale
 	opts.Workers = *workers
+	if *procs != "" {
+		list, err := parseProcs(*procs)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Processors = list
+	}
 
 	shard, err := parseShard(*shardSpec)
 	if err != nil {
@@ -242,6 +251,29 @@ func main() {
 		}
 		fmt.Println(ms.Render())
 	}
+}
+
+// parseProcs parses "-procs 32,64,128" into a processor-count list.
+func parseProcs(arg string) ([]int, error) {
+	var out []int
+	for _, tok := range strings.Split(arg, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		n, err := strconv.Atoi(tok)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -procs entry %q (want positive counts, e.g. 32,64,128)", tok)
+		}
+		if n > config.MaxProcessors {
+			return nil, fmt.Errorf("-procs entry %d exceeds the %d-processor machine ceiling", n, config.MaxProcessors)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-procs selected no processor counts")
+	}
+	return out, nil
 }
 
 // parseShard parses "-shard i/n" into a Shard; "" means unsharded.

@@ -46,7 +46,7 @@ func Example() {
 		out.Ungated.Counters.Commits == 64 && out.Gated.Counters.Commits == 64)
 
 	// Output:
-	// ungated: 21489 cycles, 58 aborts
-	// gated:   20305 cycles, 47 aborts, 47 gatings
+	// ungated: 21493 cycles, 59 aborts
+	// gated:   20704 cycles, 46 aborts, 46 gatings
 	// every transaction committed: true
 }

@@ -3,16 +3,23 @@
 // the request from the reply, so the bus is held only for the cycles a
 // message occupies the wires, not for the whole memory round-trip.
 //
-// The model is a single shared resource with FIFO arbitration: each message
-// reserves the earliest free slot of `occupancy` cycles at or after its
-// issue time, and the deliver callback fires when the slot ends. Latency
-// therefore grows under contention exactly the way a real shared bus
-// serializes traffic.
+// The model is a single shared resource with batched FIFO arbitration.
+// Senders do not schedule per-request events: they enqueue on the
+// arbitration queue, and one grant-round event — scheduled for the cycle
+// the bus next frees up — drains every queued requester in arrival order,
+// assigning each the next `occupancy`-cycle slot. Granted messages then
+// deliver through a single chained delivery event walking the slot ends.
+// The slot arithmetic is identical to a per-request reservation model
+// (each message occupies the earliest free slot at or after its issue
+// time), so latency grows under contention exactly the way a real shared
+// bus serializes traffic — but arbitration costs one event per round, not
+// per message, and the queues recycle their storage.
 package bus
 
 import (
 	"fmt"
 
+	"repro/internal/fifo"
 	"repro/internal/sim"
 )
 
@@ -21,8 +28,23 @@ type Stats struct {
 	Messages   uint64
 	BusyCycles uint64
 	// WaitCycles accumulates queueing delay (time between issue and the
-	// start of the reserved slot) across all messages.
+	// start of the granted slot) across all messages.
 	WaitCycles uint64
+	// Rounds counts batched grant rounds: one arbitration event may
+	// grant many queued messages. Messages/Rounds is the batching factor.
+	Rounds uint64
+}
+
+// request is one queued send awaiting a grant round.
+type request struct {
+	deliver func()
+	issued  sim.Time
+}
+
+// delivery is one granted message awaiting its slot end.
+type delivery struct {
+	at      sim.Time
+	deliver func()
 }
 
 // Bus is a split-transaction bus. All methods must be called from engine
@@ -32,6 +54,13 @@ type Bus struct {
 	occupancy sim.Time // cycles one message holds the bus
 	nextFree  sim.Time // first cycle the bus is free
 	stats     Stats
+
+	reqs         fifo.Queue[request]  // awaiting arbitration
+	dels         fifo.Queue[delivery] // granted, awaiting delivery
+	roundPending bool
+	delPending   bool
+	roundFn      func() // pre-bound grant round (no per-schedule closure)
+	deliverFn    func() // pre-bound delivery chain step
 }
 
 // New builds a bus on the engine. occupancy is the per-message bus-hold
@@ -40,7 +69,10 @@ func New(eng *sim.Engine, occupancy sim.Time) *Bus {
 	if occupancy <= 0 {
 		panic(fmt.Sprintf("bus: occupancy %d must be positive", occupancy))
 	}
-	return &Bus{eng: eng, occupancy: occupancy}
+	b := &Bus{eng: eng, occupancy: occupancy}
+	b.roundFn = b.grantRound
+	b.deliverFn = b.deliverHead
+	return b
 }
 
 // Occupancy returns the per-message hold time.
@@ -49,21 +81,68 @@ func (b *Bus) Occupancy() sim.Time { return b.occupancy }
 // Stats returns a copy of the activity counters.
 func (b *Bus) Stats() Stats { return b.stats }
 
+// Queued returns the number of messages awaiting arbitration or delivery.
+func (b *Bus) Queued() int { return b.reqs.Len() + b.dels.Len() }
+
 // Send transmits a message: deliver runs when the message has crossed the
-// bus. Returns the delivery time.
-func (b *Bus) Send(deliver func()) sim.Time {
-	now := b.eng.Now()
-	start := now
+// bus. The message joins the arbitration queue and is granted a slot by
+// the next grant round, in FIFO order.
+func (b *Bus) Send(deliver func()) {
+	if deliver == nil {
+		panic("bus: nil deliver callback")
+	}
+	b.stats.Messages++
+	b.reqs.Push(request{deliver: deliver, issued: b.eng.Now()})
+	if !b.roundPending {
+		b.roundPending = true
+		at := b.eng.Now()
+		if b.nextFree > at {
+			at = b.nextFree
+		}
+		b.eng.Schedule(at, b.roundFn)
+	}
+}
+
+// grantRound is the batched arbitration: it fires when the bus frees up
+// and drains the whole request queue in arrival order, assigning each
+// message the next occupancy-cycle slot.
+func (b *Bus) grantRound() {
+	b.roundPending = false
+	b.stats.Rounds++
+	start := b.eng.Now()
 	if b.nextFree > start {
 		start = b.nextFree
 	}
-	b.stats.Messages++
-	b.stats.WaitCycles += uint64(start - now)
-	b.stats.BusyCycles += uint64(b.occupancy)
-	end := start + b.occupancy
-	b.nextFree = end
-	b.eng.Schedule(end, deliver)
-	return end
+	for b.reqs.Len() > 0 {
+		r := b.reqs.Pop()
+		b.stats.WaitCycles += uint64(start - r.issued)
+		b.stats.BusyCycles += uint64(b.occupancy)
+		end := start + b.occupancy
+		b.dels.Push(delivery{at: end, deliver: r.deliver})
+		start = end
+	}
+	b.nextFree = start
+	b.scheduleDelivery()
+}
+
+// scheduleDelivery arms the delivery chain for the head message, if idle.
+// Slot ends are strictly increasing, so one in-flight event suffices.
+func (b *Bus) scheduleDelivery() {
+	if b.delPending || b.dels.Len() == 0 {
+		return
+	}
+	b.delPending = true
+	b.eng.Schedule(b.dels.Front().at, b.deliverFn)
+}
+
+// deliverHead completes the head message's bus crossing and re-arms the
+// chain for the next one. The chain is re-armed before the callback runs,
+// so a callback that sends new traffic observes a consistent queue.
+func (b *Bus) deliverHead() {
+	b.delPending = false
+	d := b.dels.Pop()
+	b.scheduleDelivery()
+	d.deliver()
 }
 
 // Utilization returns busy-cycles / elapsed-cycles at the current time.

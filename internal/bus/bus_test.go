@@ -1,6 +1,7 @@
 package bus
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/sim"
@@ -71,14 +72,57 @@ func TestWaitCyclesAccumulateUnderContention(t *testing.T) {
 	}
 }
 
-func TestSendReturnsDeliveryTime(t *testing.T) {
+func TestGrantRoundsBatchQueuedSenders(t *testing.T) {
 	eng := sim.NewEngine()
 	b := New(eng, 5)
-	if got := b.Send(func() {}); got != 5 {
-		t.Fatalf("first Send returned %d, want 5", got)
+	delivered := 0
+	// Eight messages issued in one cycle: one grant round must drain all
+	// of them (batched arbitration), with consecutive slots.
+	for i := 0; i < 8; i++ {
+		b.Send(func() { delivered++ })
 	}
-	if got := b.Send(func() {}); got != 10 {
-		t.Fatalf("second Send returned %d, want 10", got)
+	eng.Run()
+	if delivered != 8 {
+		t.Fatalf("delivered %d, want 8", delivered)
+	}
+	st := b.Stats()
+	if st.Rounds != 1 {
+		t.Fatalf("grant rounds %d, want 1 (arbitration not batched)", st.Rounds)
+	}
+	if eng.Now() != 8*5 {
+		t.Fatalf("last delivery at %d, want 40", eng.Now())
+	}
+}
+
+func TestQueuedCountsBothStages(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, 4)
+	b.Send(func() {})
+	b.Send(func() {})
+	if got := b.Queued(); got != 2 {
+		t.Fatalf("queued %d before arbitration, want 2", got)
+	}
+	eng.Run()
+	if got := b.Queued(); got != 0 {
+		t.Fatalf("queued %d after drain, want 0", got)
+	}
+}
+
+func TestSteadyStateSendZeroAlloc(t *testing.T) {
+	eng := sim.NewEngine()
+	b := New(eng, 2)
+	deliver := func() {}
+	work := func() {
+		for i := 0; i < 32; i++ {
+			b.Send(deliver)
+		}
+		eng.Run()
+	}
+	for i := 0; i < 256; i++ {
+		work() // warm queues, engine free list, and every ring bucket
+	}
+	if avg := testing.AllocsPerRun(50, work); avg != 0 {
+		t.Fatalf("steady-state bus traffic allocates %.1f times per burst, want 0", avg)
 	}
 }
 
@@ -118,5 +162,40 @@ func TestInterleavedSendsKeepFIFO(t *testing.T) {
 	eng.Run()
 	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
 		t.Fatalf("order %v", order)
+	}
+}
+
+// BenchmarkBusBatched measures arbitration throughput under heavy fan-in:
+// many senders pile onto the queue each round, the shape a wide machine's
+// commit invalidation storms produce. messages/round reports the batching
+// factor actually achieved.
+func BenchmarkBusBatched(b *testing.B) {
+	for _, senders := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("senders%d", senders), func(b *testing.B) {
+			b.ReportAllocs()
+			eng := sim.NewEngine()
+			bus := New(eng, 2)
+			var deliver func()
+			left := 0
+			deliver = func() {
+				// Each delivery fans a fresh message back in while the
+				// burst lasts, sustaining a queue.
+				if left > 0 {
+					left--
+					bus.Send(deliver)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				left = senders * 4
+				for s := 0; s < senders; s++ {
+					bus.Send(deliver)
+				}
+				eng.Run()
+			}
+			st := bus.Stats()
+			b.ReportMetric(float64(st.Messages)/float64(st.Rounds), "msgs/round")
+			b.ReportMetric(float64(st.Messages)/b.Elapsed().Seconds(), "msgs/s")
+		})
 	}
 }

@@ -10,10 +10,16 @@ import (
 	"repro/internal/sim"
 )
 
+// MaxProcessors is the widest machine the simulator models. The
+// directories keep full-bit-vector sharer sets in two 64-bit words, so
+// the scale axis tops out at 128 cores; Validate rejects anything wider.
+const MaxProcessors = 128
+
 // Machine describes the simulated hardware platform (paper Table II).
 type Machine struct {
 	// Processors is the number of single-issue in-order cores (1–16 in
-	// the paper's experiments).
+	// the paper's experiments; this reproduction scales the axis to
+	// MaxProcessors).
 	Processors int
 	// Directories is the number of memory directories. The paper's
 	// example system pairs one directory with each processor.
@@ -135,6 +141,15 @@ func Default(processors int) Config {
 	}
 }
 
+// Default64 is the 64-processor scale-axis preset: the Table II machine
+// widened to 64 cores with one directory per core, the first design point
+// beyond the paper's evaluation grid.
+func Default64() Config { return Default(64) }
+
+// Default128 is the 128-processor scale-axis preset — the widest machine
+// the full-bit-vector directories support (MaxProcessors).
+func Default128() Config { return Default(128) }
+
 // WithGating returns a copy of c with the gating protocol enabled and the
 // given W0 (0 keeps the current value).
 func (c Config) WithGating(w0 sim.Time) Config {
@@ -150,6 +165,9 @@ func (c Config) Validate() error {
 	m := c.Machine
 	if m.Processors <= 0 {
 		return fmt.Errorf("config: processors %d must be positive", m.Processors)
+	}
+	if m.Processors > MaxProcessors {
+		return fmt.Errorf("config: processors %d exceed the %d-wide directory sharer vectors", m.Processors, MaxProcessors)
 	}
 	if m.Directories <= 0 {
 		return fmt.Errorf("config: directories %d must be positive", m.Directories)

@@ -105,3 +105,24 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		})
 	}
 }
+
+func TestScaleAxisPresets(t *testing.T) {
+	// The 64p/128p scale presets must validate as-is (with and without
+	// gating), and the processor ceiling is tied to the directory sharer
+	// vector width.
+	for _, cfg := range []Config{Default64(), Default128()} {
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%dp preset invalid: %v", cfg.Machine.Processors, err)
+		}
+		if err := cfg.WithGating(0).Validate(); err != nil {
+			t.Fatalf("%dp gated preset invalid: %v", cfg.Machine.Processors, err)
+		}
+	}
+	if Default64().Machine.Processors != 64 || Default128().Machine.Processors != MaxProcessors {
+		t.Fatal("scale presets have wrong core counts")
+	}
+	over := Default(MaxProcessors + 1)
+	if err := over.Validate(); err == nil {
+		t.Fatalf("%d processors passed validation", MaxProcessors+1)
+	}
+}

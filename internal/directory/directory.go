@@ -5,9 +5,17 @@
 // control circuit of Fig. 2(e).
 //
 // Each directory owns an interleaved slice of physical memory, tracks a
-// full-bit-vector sharer set per line, serializes committers by TID, and
-// (with gating enabled) decides when an aborted processor's clock stops
-// and restarts.
+// full-bit-vector sharer set per line (two 64-bit words, so machines up to
+// 128 processors fit), serializes committers by TID, and (with gating
+// enabled) decides when an aborted processor's clock stops and restarts.
+//
+// Service is batch-oriented: read requests and commit line-writes reserve
+// their directory-pipeline and memory-port slots on arrival (the same
+// earliest-free-slot arithmetic as before), but completions fire through
+// one chained service event per queue rather than one pre-scheduled event
+// per request — the completion times are reservation-ordered, so a single
+// in-flight event walking the FIFO suffices and the queues recycle their
+// storage.
 package directory
 
 import (
@@ -16,6 +24,7 @@ import (
 	"repro/internal/bus"
 	"repro/internal/cm"
 	"repro/internal/config"
+	"repro/internal/fifo"
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -62,7 +71,7 @@ type ProcessorPort interface {
 // the mechanism that makes TCC's lazy conflict detection serializable.
 type lineState struct {
 	owner   int
-	sharers uint64
+	sharers ProcSet
 	version uint64
 	lastTID tokens.TID
 }
@@ -75,7 +84,7 @@ type gateEntry struct {
 	aborterTxOK bool
 	abortCount  int
 	renewCount  int
-	timer       *sim.Event
+	timer       sim.EventRef
 	// episode guards against stale timer and TxInfo-reply events after
 	// the entry has been cleared or re-armed.
 	episode uint64
@@ -96,6 +105,15 @@ type Stats struct {
 	Ungates  uint64
 }
 
+// readReq is one queued read-miss completion: the service slot was
+// reserved at arrival, the chained service event fires at done.
+type readReq struct {
+	proc  int
+	line  mem.LineAddr
+	reply func(version uint64)
+	done  sim.Time
+}
+
 // Directory is one memory directory.
 type Directory struct {
 	id       int
@@ -110,6 +128,22 @@ type Directory struct {
 	lines       map[mem.LineAddr]*lineState
 	nextFreeDir sim.Time // directory pipeline availability
 	nextFreeMem sim.Time // local memory port availability (single R/W port)
+
+	// reads is the memory-port completion queue: reservation times are
+	// nondecreasing, so one chained event (readFn) walks the FIFO.
+	reads       fifo.Queue[readReq]
+	readPending bool
+	readFn      func()
+
+	// One commit writes here at a time (writer guard), so the per-line
+	// commit walk is a single chained event over this state.
+	commitProc  int
+	commitTID   tokens.TID
+	commitLines []mem.LineAddr
+	commitIdx   int
+	commitStart sim.Time
+	commitDone  func()
+	commitFn    func()
 
 	marked map[int]tokens.TID // commit requests with timestamps, by processor
 	// announced holds the "Marked" bits of Fig. 2(e): Scalable TCC
@@ -135,10 +169,10 @@ type Directory struct {
 
 // New builds directory id. Attach must be called before traffic arrives.
 func New(id int, eng *sim.Engine, b *bus.Bus, cfg config.Machine, gcfg config.Gating, policy cm.Policy, counters *stats.Counters) *Directory {
-	if cfg.Processors > 64 {
-		panic(fmt.Sprintf("directory: %d processors exceed the 64-bit sharer vector", cfg.Processors))
+	if cfg.Processors > MaxProcs {
+		panic(fmt.Sprintf("directory: %d processors exceed the %d-bit sharer vector", cfg.Processors, MaxProcs))
 	}
-	return &Directory{
+	d := &Directory{
 		id:        id,
 		eng:       eng,
 		bus:       b,
@@ -152,6 +186,9 @@ func New(id int, eng *sim.Engine, b *bus.Bus, cfg config.Machine, gcfg config.Ga
 		writer:    -1,
 		gate:      make([]gateEntry, cfg.Processors),
 	}
+	d.readFn = d.serviceRead
+	d.commitFn = d.commitStep
+	return d
 }
 
 // Attach wires the processor ports (indexed by processor id).
@@ -185,12 +222,12 @@ func (d *Directory) line(l mem.LineAddr) *lineState {
 	return ls
 }
 
-// Sharers returns the sharer bit vector of a line (for tests and stats).
-func (d *Directory) Sharers(l mem.LineAddr) uint64 {
+// Sharers returns the sharer set of a line (for tests and stats).
+func (d *Directory) Sharers(l mem.LineAddr) ProcSet {
 	if ls, ok := d.lines[l]; ok {
 		return ls.sharers
 	}
-	return 0
+	return ProcSet{}
 }
 
 // Owner returns the owning processor of a line, or -1.
@@ -235,7 +272,9 @@ func (d *Directory) HasOlderMark(tid tokens.TID, self int) bool {
 // directory (bus transit already paid by the sender). The reply callback
 // runs at the requesting processor after the data has crossed back over
 // the bus, carrying the commit version of the line the reply data
-// reflects. Directory pipeline and the single memory port both serialize.
+// reflects. Directory pipeline and the single memory port both serialize:
+// the request reserves its slots on arrival and joins the chained
+// completion queue.
 func (d *Directory) HandleRead(proc int, l mem.LineAddr, reply func(version uint64)) {
 	d.stats.Reads++
 	d.noteProcessorAlive(proc)
@@ -245,12 +284,27 @@ func (d *Directory) HandleRead(proc int, l mem.LineAddr, reply func(version uint
 	memStart := maxTime(dirDone, d.nextFreeMem)
 	memDone := memStart + d.cfg.MemoryCycles
 	d.nextFreeMem = memDone
-	d.eng.Schedule(memDone, func() {
-		ls := d.line(l)
-		ls.sharers |= 1 << uint(proc)
-		v := ls.version
-		d.bus.Send(func() { reply(v) })
-	})
+	d.reads.Push(readReq{proc: proc, line: l, reply: reply, done: memDone})
+	if !d.readPending {
+		d.readPending = true
+		d.eng.Schedule(memDone, d.readFn)
+	}
+}
+
+// serviceRead completes the head read (its reservation expires now) and
+// re-arms the chain for the next one.
+func (d *Directory) serviceRead() {
+	d.readPending = false
+	r := d.reads.Pop()
+	if d.reads.Len() > 0 {
+		d.readPending = true
+		d.eng.Schedule(d.reads.Front().done, d.readFn)
+	}
+	ls := d.line(r.line)
+	ls.sharers.Add(r.proc)
+	v := ls.version
+	reply := r.reply
+	d.bus.Send(func() { reply(v) })
 }
 
 // noteProcessorAlive implements the paper's local-knowledge reconciliation:
@@ -275,10 +329,8 @@ func (d *Directory) noteProcessorAlive(proc int) {
 func (d *Directory) disarm(g *gateEntry) {
 	g.off = false
 	g.episode++
-	if g.timer != nil {
-		g.timer.Cancel()
-		g.timer = nil
-	}
+	g.timer.Cancel()
+	g.timer = sim.EventRef{}
 }
 
 // AnnounceIntent records an eager store-address announcement: proc has
@@ -339,8 +391,10 @@ func (d *Directory) Writer() int { return d.writer }
 // directory. The directory is occupied for CommitLineCycles per line; each
 // line's commit sends invalidations to all other sharers; done runs (in
 // directory context, no bus transit) when the last line has committed.
+// The whole write-set walk is one chained event stepping line to line.
 // The caller must have established that proc is the head committer and
-// the directory is free.
+// the directory is free; the lines slice must stay untouched until done
+// runs.
 func (d *Directory) BeginCommit(proc int, lines []mem.LineAddr, done func()) {
 	if d.writer != -1 {
 		panic(fmt.Sprintf("directory %d: BeginCommit(%d) while %d is committing", d.id, proc, d.writer))
@@ -351,26 +405,49 @@ func (d *Directory) BeginCommit(proc int, lines []mem.LineAddr, done func()) {
 	d.writer = proc
 	d.stats.Commits++
 	d.stats.LinesCommitted += uint64(len(lines))
-	tid := d.marked[proc]
 	start := maxTime(d.eng.Now(), d.nextFreeDir)
-	for i, l := range lines {
-		l := l
-		at := start + sim.Time(i+1)*d.cfg.CommitLineCycles
-		d.eng.Schedule(at, func() { d.commitLine(proc, tid, l) })
-	}
-	end := start + sim.Time(len(lines))*d.cfg.CommitLineCycles
+	d.commitProc = proc
+	d.commitTID = d.marked[proc]
+	d.commitLines = lines
+	d.commitIdx = 0
+	d.commitStart = start
+	d.commitDone = done
+	var end sim.Time
 	if len(lines) == 0 {
 		end = start + d.cfg.DirectoryCycles // validation-only touch
+	} else {
+		end = start + sim.Time(len(lines))*d.cfg.CommitLineCycles
 	}
 	d.nextFreeDir = end
-	d.eng.Schedule(end, func() {
-		d.writer = -1
-		delete(d.marked, proc)
-		done()
-		if d.onCommitDone != nil {
-			d.onCommitDone()
+	at := end
+	if len(lines) > 0 {
+		at = start + d.cfg.CommitLineCycles
+	}
+	d.eng.Schedule(at, d.commitFn)
+}
+
+// commitStep is the chained commit walk: each firing publishes one line
+// at its reserved slot; the final firing (same cycle as the last line)
+// also completes the commit.
+func (d *Directory) commitStep() {
+	i := d.commitIdx
+	if i < len(d.commitLines) {
+		d.commitIdx++
+		d.commitLine(d.commitProc, d.commitTID, d.commitLines[i])
+		if d.commitIdx < len(d.commitLines) {
+			d.eng.Schedule(d.commitStart+sim.Time(d.commitIdx+1)*d.cfg.CommitLineCycles, d.commitFn)
+			return
 		}
-	})
+	}
+	proc, done := d.commitProc, d.commitDone
+	d.writer = -1
+	d.commitLines = nil
+	d.commitDone = nil
+	delete(d.marked, proc)
+	done()
+	if d.onCommitDone != nil {
+		d.onCommitDone()
+	}
 }
 
 // commitLine publishes one line: the version advances, ownership moves to
@@ -378,17 +455,13 @@ func (d *Directory) BeginCommit(proc int, lines []mem.LineAddr, done func()) {
 // that aborts triggers the gating protocol.
 func (d *Directory) commitLine(committer int, tid tokens.TID, l mem.LineAddr) {
 	ls := d.line(l)
-	victims := ls.sharers &^ (1 << uint(committer))
+	victims := ls.sharers.Without(committer)
 	ls.owner = committer
-	ls.sharers = 1 << uint(committer)
+	ls.sharers = Only(committer)
 	ls.version++
 	ls.lastTID = tid
 	d.procs[committer].NoteLineCommitted(l, ls.version)
-	for v := 0; v < d.cfg.Processors; v++ {
-		if victims&(1<<uint(v)) == 0 {
-			continue
-		}
-		v := v
+	victims.ForEach(func(v int) {
 		d.counters.Invalidations++
 		d.bus.Send(func() {
 			d.rec.Record(trace.Event{At: d.eng.Now(), Kind: trace.EvInvalidate,
@@ -403,7 +476,7 @@ func (d *Directory) commitLine(committer int, tid tokens.TID, l mem.LineAddr) {
 				}
 			}
 		})
-	}
+	})
 }
 
 // OnProcessorCommitted resets the abort bookkeeping for proc: "Abort count
@@ -472,9 +545,7 @@ func (d *Directory) gateVictim(victim, aborter int) {
 // armTimer loads the gating timer from the contention-management policy
 // using the current abort and renew counts.
 func (d *Directory) armTimer(victim int, g *gateEntry, ep uint64) {
-	if g.timer != nil {
-		g.timer.Cancel()
-	}
+	g.timer.Cancel()
 	wt := d.policy.Window(g.abortCount, g.renewCount)
 	if wt < 1 {
 		wt = 1

@@ -95,7 +95,7 @@ func TestHandleReadAddsSharerAndReplies(t *testing.T) {
 	if replied < 112 {
 		t.Fatalf("reply at %d, too fast", replied)
 	}
-	if r.dir.Sharers(40)&(1<<1) == 0 {
+	if !r.dir.Sharers(40).Has(1) {
 		t.Fatal("requester not recorded as sharer")
 	}
 }
@@ -135,8 +135,9 @@ func TestHeadEmpty(t *testing.T) {
 func TestBeginCommitInvalidatesSharers(t *testing.T) {
 	r := newRig(t, 3, false, nil)
 	// Lines 5 and 9 shared by procs 1 and 2.
-	r.dir.line(5).sharers = 0b110
-	r.dir.line(9).sharers = 0b010
+	r.dir.line(5).sharers.Add(1)
+	r.dir.line(5).sharers.Add(2)
+	r.dir.line(9).sharers.Add(1)
 	r.dir.Mark(0, 1)
 	done := false
 	r.dir.BeginCommit(0, []mem.LineAddr{5, 9}, func() { done = true })
@@ -153,7 +154,7 @@ func TestBeginCommitInvalidatesSharers(t *testing.T) {
 	if len(r.procs[0].invalidations) != 0 {
 		t.Fatal("committer invalidated itself")
 	}
-	if r.dir.Owner(5) != 0 || r.dir.Sharers(5) != 1 {
+	if r.dir.Owner(5) != 0 || r.dir.Sharers(5) != Only(0) {
 		t.Fatal("ownership not transferred")
 	}
 	if r.dir.Busy() {
@@ -206,7 +207,7 @@ func TestBeginCommitWithoutMarkPanics(t *testing.T) {
 func gateRig(t *testing.T, edit func(*config.Config)) *rig {
 	t.Helper()
 	r := newRig(t, 2, true, edit)
-	r.dir.line(7).sharers = 0b10
+	r.dir.line(7).sharers.Add(1)
 	r.procs[1].abortNext = true
 	r.dir.Mark(0, 1)
 	r.dir.BeginCommit(0, []mem.LineAddr{7}, func() {})
@@ -387,10 +388,10 @@ func TestForceUngateAll(t *testing.T) {
 }
 
 func TestTooManyProcessorsPanics(t *testing.T) {
-	cfg := config.Default(65)
+	cfg := config.Default(MaxProcs + 1)
 	defer func() {
 		if recover() == nil {
-			t.Error("65 processors did not panic (64-bit sharer vector)")
+			t.Errorf("%d processors did not panic (%d-bit sharer vector)", MaxProcs+1, MaxProcs)
 		}
 	}()
 	var c stats.Counters

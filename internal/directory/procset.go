@@ -1,0 +1,57 @@
+package directory
+
+import "math/bits"
+
+// MaxProcs is the widest machine the sharer vectors support. The paper's
+// full-bit-vector directories are modeled as two 64-bit words, which
+// covers the 64- and 128-processor scale points beyond the original
+// 32-processor ceiling.
+const MaxProcs = 128
+
+// ProcSet is a full bit vector over processor ids, the directory's sharer
+// representation. The zero value is the empty set.
+type ProcSet struct {
+	w [2]uint64
+}
+
+// Add inserts processor i.
+func (s *ProcSet) Add(i int) { s.w[i>>6] |= 1 << uint(i&63) }
+
+// Remove deletes processor i.
+func (s *ProcSet) Remove(i int) { s.w[i>>6] &^= 1 << uint(i&63) }
+
+// Has reports whether processor i is in the set.
+func (s ProcSet) Has(i int) bool { return s.w[i>>6]&(1<<uint(i&63)) != 0 }
+
+// Empty reports whether the set has no members.
+func (s ProcSet) Empty() bool { return s.w[0] == 0 && s.w[1] == 0 }
+
+// Count returns the number of members.
+func (s ProcSet) Count() int {
+	return bits.OnesCount64(s.w[0]) + bits.OnesCount64(s.w[1])
+}
+
+// Only returns the set containing just processor i.
+func Only(i int) ProcSet {
+	var s ProcSet
+	s.Add(i)
+	return s
+}
+
+// Without returns s minus processor i.
+func (s ProcSet) Without(i int) ProcSet {
+	s.Remove(i)
+	return s
+}
+
+// ForEach calls f for every member in ascending processor id — the
+// deterministic fan-out order invalidations rely on.
+func (s ProcSet) ForEach(f func(int)) {
+	for w := 0; w < 2; w++ {
+		v := s.w[w]
+		for v != 0 {
+			f(w<<6 + bits.TrailingZeros64(v))
+			v &= v - 1
+		}
+	}
+}

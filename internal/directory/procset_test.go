@@ -1,0 +1,92 @@
+package directory
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+func TestProcSetBasics(t *testing.T) {
+	var s ProcSet
+	if !s.Empty() || s.Count() != 0 {
+		t.Fatal("zero set not empty")
+	}
+	// Exercise both words, including the word boundary and the top id.
+	ids := []int{0, 1, 63, 64, 65, 100, MaxProcs - 1}
+	for _, i := range ids {
+		s.Add(i)
+	}
+	if s.Count() != len(ids) {
+		t.Fatalf("count %d, want %d", s.Count(), len(ids))
+	}
+	for _, i := range ids {
+		if !s.Has(i) {
+			t.Fatalf("id %d missing", i)
+		}
+	}
+	if s.Has(62) || s.Has(66) {
+		t.Fatal("spurious membership")
+	}
+	s.Remove(64)
+	if s.Has(64) {
+		t.Fatal("Remove(64) had no effect")
+	}
+	if s.Without(63).Has(63) {
+		t.Fatal("Without(63) kept 63")
+	}
+	if !s.Has(63) {
+		t.Fatal("Without mutated the receiver")
+	}
+}
+
+func TestProcSetForEachAscending(t *testing.T) {
+	var s ProcSet
+	want := []int{2, 40, 63, 64, 90, 127}
+	// Insert in scrambled order; iteration must be ascending regardless.
+	for _, i := range []int{90, 2, 127, 64, 63, 40} {
+		s.Add(i)
+	}
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v (fan-out must be ascending and deterministic)", got, want)
+		}
+	}
+}
+
+// TestWideMachineSharers exercises the second sharer word end-to-end: a
+// 128-processor directory records high-id sharers and invalidates them on
+// commit.
+func TestWideMachineSharers(t *testing.T) {
+	r := newRig(t, MaxProcs, false, nil)
+	for _, p := range []int{1, 70, 127} {
+		got := sim.Time(-1)
+		r.dir.HandleRead(p, 40, func(uint64) { got = r.eng.Now() })
+		r.eng.Run()
+		if got < 0 {
+			t.Fatalf("proc %d read never replied", p)
+		}
+		if !r.dir.Sharers(40).Has(p) {
+			t.Fatalf("proc %d not recorded as sharer", p)
+		}
+	}
+	// Proc 1 commits line 40: both high-id sharers must be invalidated.
+	r.dir.Mark(1, 1)
+	r.dir.BeginCommit(1, []mem.LineAddr{40}, func() {})
+	r.eng.Run()
+	if len(r.procs[70].invalidations) != 1 || len(r.procs[127].invalidations) != 1 {
+		t.Fatalf("high-id sharers not invalidated: p70=%v p127=%v",
+			r.procs[70].invalidations, r.procs[127].invalidations)
+	}
+	if len(r.procs[1].invalidations) != 0 {
+		t.Fatal("committer invalidated itself")
+	}
+	if r.dir.Sharers(40) != Only(1) {
+		t.Fatal("sharer set not reset to the committer")
+	}
+}

@@ -13,10 +13,16 @@ import (
 
 // This file is the scenario matrix: the single source of truth for
 // "every scenario we can run". It enumerates an expanded evaluation grid
-// — every STAMP preset, 1–32 processors, several gating windows and
+// — every STAMP preset, 1–128 processors, several gating windows and
 // contention levels — as named, addressable cases. The CLI runs cases by
 // ID, docs/E2E.md lists them as a case table, and e2e_test.go executes
 // every case the table marks done, so the three can never drift apart.
+//
+// Case IDs are append-only. The original 432-case grid (processor axis
+// 1–32) keeps IDs M00001–M00432 forever; the 48–128-processor scale
+// extension is enumerated as a separate block appended after it
+// (M00433–M00720), so existing checkpoints, CSVs and docs keep meaning
+// the same cases.
 
 // Contention adjusts a workload preset's conflict intensity around the
 // published STAMP characteristics.
@@ -60,8 +66,13 @@ func (c Contention) Apply(s workload.Spec) workload.Spec {
 // The matrix axes beyond the application list (which is stamp.AllApps).
 var (
 	// MatrixProcessors extends the paper's {4, 8, 16} sweep down to a
-	// uniprocessor and up to 32 cores.
+	// uniprocessor and up to 32 cores — the legacy axis whose case IDs
+	// (M00001–M00432) are stable.
 	MatrixProcessors = []int{1, 2, 4, 8, 16, 32}
+	// MatrixExtensionProcessors is the scale axis beyond the original
+	// grid, up to the 128-processor machine ceiling. Its cases are
+	// appended after the legacy block so legacy IDs never shift.
+	MatrixExtensionProcessors = []int{48, 64, 96, 128}
 	// MatrixW0Values brackets the paper's default gating window of 8.
 	MatrixW0Values = []sim.Time{2, 8, 32}
 )
@@ -179,10 +190,13 @@ func (s Scenario) Done() bool {
 	// Every application at small machine sizes, paper defaults.
 	case base && defW0 && s.Processors <= 8:
 		return true
-	// Every application proves out 16 cores at paper defaults; the
-	// high-conflict app additionally covers 32.
-	case base && defW0 && s.Processors == 16:
+	// Every application proves out 16 and 32 cores at paper defaults.
+	case base && defW0 && (s.Processors == 16 || s.Processors == 32):
 		return true
+	// 64-processor smoke for the paper's applications.
+	case base && defW0 && s.Processors == 64 && paper:
+		return true
+	// The high-conflict app walks the whole scale axis, 48–128 included.
 	case base && defW0 && s.App == stamp.Intruder:
 		return true
 	// W0 sweep on every paper app at 8 cores.
@@ -227,19 +241,24 @@ var (
 )
 
 func buildMatrix() {
-	for _, app := range stamp.AllApps() {
-		for _, np := range MatrixProcessors {
-			for _, w0 := range MatrixW0Values {
-				for _, cont := range ContentionLevels() {
-					ord := len(matrixCache)
-					matrixCache = append(matrixCache, Scenario{
-						ID:         fmt.Sprintf("M%05d", ord+1),
-						Ord:        ord,
-						App:        app,
-						Processors: np,
-						W0:         w0,
-						Contention: cont,
-					})
+	// The legacy grid first (IDs M00001–M00432, stable forever), then
+	// the appended 48–128-processor scale block. Appending — never
+	// interleaving — new axis values is what keeps old IDs meaningful.
+	for _, procs := range [][]int{MatrixProcessors, MatrixExtensionProcessors} {
+		for _, app := range stamp.AllApps() {
+			for _, np := range procs {
+				for _, w0 := range MatrixW0Values {
+					for _, cont := range ContentionLevels() {
+						ord := len(matrixCache)
+						matrixCache = append(matrixCache, Scenario{
+							ID:         fmt.Sprintf("M%05d", ord+1),
+							Ord:        ord,
+							App:        app,
+							Processors: np,
+							W0:         w0,
+							Contention: cont,
+						})
+					}
 				}
 			}
 		}
@@ -252,9 +271,10 @@ func buildMatrix() {
 	}
 }
 
-// Matrix returns every scenario in canonical order: applications outer
-// (paper apps first, as stamp.AllApps orders them), then processor count,
-// gating window, and contention level.
+// Matrix returns every scenario in canonical order: the legacy 1–32
+// processor grid (applications outer, paper apps first, then processor
+// count, gating window and contention level), followed by the appended
+// 48–128 processor scale block in the same nesting.
 func Matrix() []Scenario {
 	matrixOnce.Do(buildMatrix)
 	out := make([]Scenario, len(matrixCache))
@@ -356,12 +376,15 @@ func E2EDoc() string {
 	return fmt.Sprintf(`# E2E scenario matrix
 
 This table enumerates every scenario the streaming session engine can
-run: each STAMP preset at 1-32 processors, gating windows W0 of 2/8/32
-cycles, and low/base/high workload contention. Every sweep — this matrix,
-the paper campaign, Fig7, multi-seed, the ablations — executes as
-run-cells on one clockgate.Session, which owns the worker pool, the
-per-workload trace cache, and the optional JSONL checkpoint sink behind
--resume. Cases are addressable by id:
+run: each STAMP preset at 1-128 processors, gating windows W0 of 2/8/32
+cycles, and low/base/high workload contention. Case ids are append-only:
+the original 1-32 processor grid keeps M00001-M00432 and the
+48/64/96/128-processor scale block is appended as M00433-M00720, so
+existing checkpoints and CSVs keep naming the same cases. Every sweep —
+this matrix, the paper campaign, Fig7, multi-seed, the ablations —
+executes as run-cells on one clockgate.Session, which owns the worker
+pool, the per-workload trace cache, and the optional JSONL checkpoint
+sink behind -resume. Cases are addressable by id:
 
     go run ./cmd/experiments -matrix M00042,M00049 -detail
     go run ./cmd/experiments -matrix done -detail      # every executed case

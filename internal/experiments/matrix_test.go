@@ -11,9 +11,13 @@ import (
 
 func TestMatrixShape(t *testing.T) {
 	m := Matrix()
-	want := len(stamp.AllApps()) * len(MatrixProcessors) * len(MatrixW0Values) * len(ContentionLevels())
+	perCombo := len(MatrixW0Values) * len(ContentionLevels())
+	want := len(stamp.AllApps()) * (len(MatrixProcessors) + len(MatrixExtensionProcessors)) * perCombo
 	if len(m) != want {
 		t.Fatalf("%d scenarios, want %d", len(m), want)
+	}
+	if want != 720 {
+		t.Fatalf("matrix has %d addressable cases, want 720 (432 legacy + 288 scale extension)", want)
 	}
 	ids := map[string]bool{}
 	names := map[string]bool{}
@@ -29,6 +33,69 @@ func TestMatrixShape(t *testing.T) {
 		}
 		ids[s.ID] = true
 		names[s.Name()] = true
+	}
+}
+
+// TestLegacyIDsStable pins the append-only ID contract: the original
+// 432-case grid keeps its exact (ID, name) pairs, and the scale extension
+// starts at M00433. A failure here means old checkpoints, CSVs and docs
+// silently changed meaning.
+func TestLegacyIDsStable(t *testing.T) {
+	legacy := len(stamp.AllApps()) * len(MatrixProcessors) * len(MatrixW0Values) * len(ContentionLevels())
+	if legacy != 432 {
+		t.Fatalf("legacy block is %d cases, want 432", legacy)
+	}
+	for id, name := range map[string]string{
+		"M00001": "genome/1p/W0=2/low",
+		"M00042": "genome/16p/W0=8/high",
+		"M00055": "yada/1p/W0=2/low",
+		"M00432": "vacation/32p/W0=32/high",
+	} {
+		s, ok := ScenarioByID(id)
+		if !ok || s.Name() != name {
+			t.Errorf("legacy %s = %q, want %q", id, s.Name(), name)
+		}
+	}
+	// The extension block starts right after the legacy grid and walks
+	// the appended processor axis.
+	first := Matrix()[legacy]
+	if first.ID != "M00433" || first.Processors != MatrixExtensionProcessors[0] {
+		t.Errorf("extension block starts at %s/%dp, want M00433/%dp",
+			first.ID, first.Processors, MatrixExtensionProcessors[0])
+	}
+	for _, s := range Matrix()[:legacy] {
+		for _, np := range MatrixExtensionProcessors {
+			if s.Processors == np {
+				t.Fatalf("extension processor count %d leaked into legacy block (%s)", np, s.ID)
+			}
+		}
+	}
+}
+
+// TestDoneSetCoversScaleAxis checks the promoted cases: every app proves
+// out 32 cores, the paper apps smoke-test 64, and intruder walks the
+// scale axis through 128.
+func TestDoneSetCoversScaleAxis(t *testing.T) {
+	done := map[string]bool{}
+	for _, s := range DoneScenarios() {
+		if s.Contention == ContentionBase && s.W0 == matrixDefaultW0 {
+			done[fmt.Sprintf("%s/%d", s.App, s.Processors)] = true
+		}
+	}
+	for _, app := range stamp.AllApps() {
+		if !done[fmt.Sprintf("%s/32", app)] {
+			t.Errorf("%s not executed at 32p", app)
+		}
+	}
+	for _, app := range stamp.PaperApps() {
+		if !done[fmt.Sprintf("%s/64", app)] {
+			t.Errorf("%s not executed at 64p", app)
+		}
+	}
+	for _, np := range []int{48, 96, 128} {
+		if !done[fmt.Sprintf("%s/%d", stamp.Intruder, np)] {
+			t.Errorf("intruder not executed at %dp", np)
+		}
 	}
 }
 

@@ -34,8 +34,9 @@ type Session struct {
 	poolStop chan struct{}
 	closed   sync.Once
 
-	traceMu sync.Mutex
-	traces  map[traceKey]*traceEntry
+	traceMu    sync.Mutex
+	traces     map[traceKey]*traceEntry
+	traceClock uint64 // logical use counter driving the LRU policy
 
 	ckpt *Checkpoint
 }
@@ -314,21 +315,48 @@ type traceKey struct {
 // the same trace generate it exactly once and share the result. Traces
 // are read-only during simulation (RunPair already shares one trace
 // across both runs of a pair), so sharing across concurrent cells is
-// safe.
+// safe. lastUse and useCount (guarded by traceMu) drive the
+// reuse-count-aware LRU eviction policy.
 type traceEntry struct {
 	once sync.Once
 	tr   *workload.Trace
 	err  error
+
+	lastUse  uint64
+	useCount uint64
 }
 
 // maxCachedTraces bounds the session trace cache. Sweeps that profit
 // from the cache (Fig7's W0 axis, ablation variants, the paired-run
 // sharing inside a cell) need only a handful of workload keys live at
 // once; a long multi-seed campaign would otherwise accumulate every
-// seed's traces until Close. Above the bound an arbitrary entry is
-// evicted — regeneration is deterministic, so eviction can never change
-// results, only cost a re-generation.
+// seed's traces until Close. Above the bound the reuse-count-aware LRU
+// policy evicts the least valuable entry — regeneration is
+// deterministic, so eviction can never change results, only cost a
+// re-generation.
 const maxCachedTraces = 64
+
+// evictTrace drops the least valuable cache entry: among the entries with
+// the lowest reuse count, the least recently used one. Keying the victim
+// choice on reuse first keeps the hot keys of a Fig7 or ablation sweep —
+// one trace serving a whole W0/variant axis — resident through floods of
+// single-use keys (a multi-seed campaign's per-seed workloads), which
+// plain LRU would let push them out. Called with traceMu held. The choice
+// is deterministic: (useCount, lastUse) pairs are unique per entry
+// because lastUse is a strictly increasing logical clock.
+func (s *Session) evictTrace() {
+	var victim traceKey
+	var best *traceEntry
+	for k, e := range s.traces {
+		if best == nil || e.useCount < best.useCount ||
+			(e.useCount == best.useCount && e.lastUse < best.lastUse) {
+			victim, best = k, e
+		}
+	}
+	if best != nil {
+		delete(s.traces, victim)
+	}
+}
 
 // trace returns the cell's workload trace, generating it on first use and
 // serving every later request for the same (app, threads, scale,
@@ -352,14 +380,14 @@ func (s *Session) trace(c Cell) (*workload.Trace, error) {
 	e, ok := s.traces[key]
 	if !ok {
 		if len(s.traces) >= maxCachedTraces {
-			for k := range s.traces {
-				delete(s.traces, k)
-				break
-			}
+			s.evictTrace()
 		}
 		e = &traceEntry{}
 		s.traces[key] = e
 	}
+	s.traceClock++
+	e.lastUse = s.traceClock
+	e.useCount++
 	s.traceMu.Unlock()
 	e.once.Do(func() {
 		e.tr, e.err = generateCellTrace(s.opts.Scale, c)

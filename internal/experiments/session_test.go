@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/stamp"
 )
 
 // TestStreamDeliversEveryCell checks the streaming form covers the cell
@@ -507,5 +509,116 @@ func TestTraceCacheBounded(t *testing.T) {
 	// Any key — evicted or not — still resolves.
 	if _, err := s.trace(Cell{App: "intruder", Processors: 2, Seed: 0}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// traceCacheKeys returns the cached trace keys (test helper).
+func traceCacheKeys(s *Session) map[traceKey]bool {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	out := make(map[traceKey]bool, len(s.traces))
+	for k := range s.traces {
+		out[k] = true
+	}
+	return out
+}
+
+func traceCellForSeed(seed uint64) Cell {
+	return Cell{App: stamp.Intruder, Processors: 1, Seed: seed, Contention: ContentionBase}
+}
+
+// TestTraceCacheLRUKeepsHotKeys pins the reuse-count-aware LRU policy: a
+// key reused many times (a Fig7-style hot workload) must survive a flood
+// of single-use keys that overflows the cache, while the flood's own
+// oldest keys are the ones evicted.
+func TestTraceCacheLRUKeepsHotKeys(t *testing.T) {
+	s := NewSession(Options{Seed: 1, Scale: 0.01})
+	defer s.Close()
+
+	hot := traceCellForSeed(7)
+	if _, err := s.trace(hot); err != nil {
+		t.Fatal(err)
+	}
+	// Flood with 2x the cache bound in single-use keys, re-touching the
+	// hot key along the way.
+	for i := 0; i < 2*maxCachedTraces; i++ {
+		if _, err := s.trace(traceCellForSeed(1000 + uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+		if i%8 == 0 {
+			if _, err := s.trace(hot); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	keys := traceCacheKeys(s)
+	if len(keys) > maxCachedTraces {
+		t.Fatalf("cache holds %d entries, bound is %d", len(keys), maxCachedTraces)
+	}
+	hotKey := traceKey{app: hot.App, threads: 1, scale: 0.01, contention: ContentionBase, seed: hot.Seed}
+	if !keys[hotKey] {
+		t.Fatal("hot (heavily reused) key was evicted by single-use flood")
+	}
+	// The earliest single-use flood keys must be gone (they are the
+	// least-reused, least-recently-used entries).
+	early := traceKey{app: hot.App, threads: 1, scale: 0.01, contention: ContentionBase, seed: 1000}
+	if keys[early] {
+		t.Fatal("oldest single-use key survived eviction")
+	}
+}
+
+// TestTraceCacheLRUEvictsLeastRecentAmongEqualReuse: with equal reuse
+// counts the policy degrades to plain LRU.
+func TestTraceCacheLRUEvictsLeastRecentAmongEqualReuse(t *testing.T) {
+	s := NewSession(Options{Seed: 1, Scale: 0.01})
+	defer s.Close()
+	// Fill exactly to the bound with single-use keys.
+	for i := 0; i < maxCachedTraces; i++ {
+		if _, err := s.trace(traceCellForSeed(uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Refresh key 0 (recency only; reuse count now 2 — strictly more
+	// than the others, but also most recent; victim must be key 1: the
+	// least recent among the minimal-reuse entries).
+	if _, err := s.trace(traceCellForSeed(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.trace(traceCellForSeed(9999)); err != nil {
+		t.Fatal(err)
+	}
+	keys := traceCacheKeys(s)
+	mk := func(seed uint64) traceKey {
+		return traceKey{app: stamp.Intruder, threads: 1, scale: 0.01, contention: ContentionBase, seed: seed}
+	}
+	if keys[mk(1)] {
+		t.Fatal("least-recently-used single-use key survived")
+	}
+	if !keys[mk(0)] || !keys[mk(2)] || !keys[mk(9999)] {
+		t.Fatal("wrong victim chosen by LRU policy")
+	}
+}
+
+// TestTraceCacheEvictionPreservesResults: eviction may only cost
+// regeneration, never change what a cell runs.
+func TestTraceCacheEvictionPreservesResults(t *testing.T) {
+	s := NewSession(Options{Seed: 1, Scale: 0.01})
+	defer s.Close()
+	c := traceCellForSeed(5)
+	before, err := s.trace(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < maxCachedTraces+8; i++ {
+		if _, err := s.trace(traceCellForSeed(2000 + uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := s.trace(c) // regenerated after eviction
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.TotalTxs() != after.TotalTxs() || len(before.Threads) != len(after.Threads) {
+		t.Fatal("regenerated trace differs from original")
 	}
 }

@@ -1,0 +1,60 @@
+// Package fifo provides a growable ring-buffer FIFO queue. The bus and
+// directory models queue requesters in arrival order between batched
+// grant rounds; a ring buffer keeps that queueing allocation-free in
+// steady state (a plain head-indexed slice would grow without bound under
+// sustained backlog).
+package fifo
+
+// Queue is a FIFO of T backed by a power-of-two ring buffer. The zero
+// value is an empty, ready-to-use queue.
+type Queue[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+// Len returns the number of queued elements.
+func (q *Queue[T]) Len() int { return q.n }
+
+// Push appends v at the tail.
+func (q *Queue[T]) Push(v T) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = v
+	q.n++
+}
+
+// Pop removes and returns the head. It panics on an empty queue.
+func (q *Queue[T]) Pop() T {
+	if q.n == 0 {
+		panic("fifo: pop from empty queue")
+	}
+	v := q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero // release references for GC
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return v
+}
+
+// Front returns the head without removing it. It panics on an empty queue.
+func (q *Queue[T]) Front() T {
+	if q.n == 0 {
+		panic("fifo: front of empty queue")
+	}
+	return q.buf[q.head]
+}
+
+func (q *Queue[T]) grow() {
+	size := 2 * len(q.buf)
+	if size == 0 {
+		size = 8
+	}
+	buf := make([]T, size)
+	for i := 0; i < q.n; i++ {
+		buf[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf = buf
+	q.head = 0
+}

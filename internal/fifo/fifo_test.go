@@ -1,0 +1,77 @@
+package fifo
+
+import "testing"
+
+func TestFIFOOrder(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 100; i++ {
+		q.Push(i)
+	}
+	if q.Len() != 100 {
+		t.Fatalf("len %d", q.Len())
+	}
+	for i := 0; i < 100; i++ {
+		if got := q.Front(); got != i {
+			t.Fatalf("front %d, want %d", got, i)
+		}
+		if got := q.Pop(); got != i {
+			t.Fatalf("pop %d, want %d", got, i)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("len %d after drain", q.Len())
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	var q Queue[int]
+	next, want := 0, 0
+	// Sustained backlog forces the head to wrap repeatedly.
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 7; i++ {
+			q.Push(next)
+			next++
+		}
+		for i := 0; i < 5; i++ {
+			if got := q.Pop(); got != want {
+				t.Fatalf("pop %d, want %d", got, want)
+			}
+			want++
+		}
+	}
+	for q.Len() > 0 {
+		if got := q.Pop(); got != want {
+			t.Fatalf("drain pop %d, want %d", got, want)
+		}
+		want++
+	}
+	if want != next {
+		t.Fatalf("drained %d items, pushed %d", want, next)
+	}
+}
+
+func TestPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pop on empty queue did not panic")
+		}
+	}()
+	var q Queue[int]
+	q.Pop()
+}
+
+func TestSteadyStateZeroAlloc(t *testing.T) {
+	var q Queue[int]
+	work := func() {
+		for i := 0; i < 64; i++ {
+			q.Push(i)
+		}
+		for q.Len() > 0 {
+			q.Pop()
+		}
+	}
+	work()
+	if avg := testing.AllocsPerRun(100, work); avg != 0 {
+		t.Fatalf("steady-state queue cycling allocates %.1f times, want 0", avg)
+	}
+}

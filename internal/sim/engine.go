@@ -7,10 +7,24 @@
 // identical cycle counts — so the event queue breaks ties on (time,
 // priority, sequence) and all randomness flows through the seeded PCG
 // generator in this package.
+//
+// # Event queue
+//
+// The queue is a bucketed calendar queue sized for hardware-speed cascades:
+// events within the next `window` cycles land in a per-cycle ring bucket
+// (O(1) insert, O(bucket) dispatch), and the rare far-future events — long
+// gating timers, watchdogs — go to a small binary-heap overflow. Fired
+// events return to a free list, so Schedule and dispatch are
+// allocation-free in steady state; the allocation guard in
+// calendar_test.go pins that property.
+//
+// Because events are recycled, Schedule returns an EventRef — a
+// generation-stamped handle — rather than a raw event pointer. A ref is
+// invalidated the moment its event fires or is recycled, so a stale Cancel
+// can never hit an unrelated event that happens to reuse the same slot.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -21,62 +35,93 @@ type Time int64
 // MaxTime is the largest representable simulation time.
 const MaxTime = Time(math.MaxInt64)
 
-// Event is a callback scheduled to run at a specific cycle.
-type Event struct {
-	At       Time
-	Priority int // lower runs first among events at the same cycle
+// window is the calendar span covered by per-cycle ring buckets. Events
+// scheduled at or beyond now+window go to the overflow heap instead. The
+// span comfortably covers the model's dense latencies (L1 hits, bus
+// occupancy, directory and memory access, commit bursts); only long
+// contention-management windows overflow.
+const (
+	windowBits = 10
+	window     = Time(1) << windowBits
+	windowMask = window - 1
+)
+
+// event is one scheduled callback. Events are engine-owned: they live in
+// the calendar or the overflow heap while pending and return to the
+// engine's free list when fired or discarded. External code holds
+// EventRef handles, never *event.
+type event struct {
+	at       Time
+	priority int // lower runs first among events at the same cycle
 	seq      uint64
+	gen      uint64 // bumped on recycle; EventRef validity stamp
 	fn       func()
 	canceled bool
 }
 
-// Cancel marks the event so the engine skips it when its time comes.
-// Canceling an already-fired event is a no-op.
-func (e *Event) Cancel() { e.canceled = true }
-
-// Canceled reports whether Cancel has been called on the event.
-func (e *Event) Canceled() bool { return e.canceled }
-
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].At != q[j].At {
-		return q[i].At < q[j].At
+// less is the engine's total dispatch order: (time, priority, sequence).
+func less(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	if q[i].Priority != q[j].Priority {
-		return q[i].Priority < q[j].Priority
+	if a.priority != b.priority {
+		return a.priority < b.priority
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
 
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+// EventRef is a cancellation handle for a scheduled event. The zero value
+// is a valid "no event" ref: Cancel is a no-op and Canceled reports false.
+// A ref goes stale — permanently inert — once its event fires or is
+// discarded, so holding a ref past the event's lifetime is always safe.
+type EventRef struct {
+	ev  *event
+	gen uint64
+}
 
-func (q *eventQueue) Push(x any) { *q = append(*q, x.(*Event)) }
+// Cancel marks the event so the engine skips it when its time comes.
+// Canceling an already-fired (or zero) ref is a no-op.
+func (r EventRef) Cancel() {
+	if r.ev != nil && r.ev.gen == r.gen {
+		r.ev.canceled = true
+	}
+}
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+// Canceled reports whether the referenced event is still pending and has
+// been canceled. It reports false for zero and stale refs.
+func (r EventRef) Canceled() bool {
+	return r.ev != nil && r.ev.gen == r.gen && r.ev.canceled
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable;
 // construct with NewEngine.
 type Engine struct {
 	now     Time
-	queue   eventQueue
 	seq     uint64
 	fired   uint64
 	stopped bool
+
+	// ring holds near-future events, one bucket per cycle of the
+	// [now, now+window) span; bucket index is the cycle modulo window.
+	// At any instant every event in one bucket shares the same absolute
+	// time, because only times within the window are inserted.
+	ring    [][]*event
+	ringCnt int
+	// ringNext is a lower bound on the earliest event time in the ring,
+	// valid while ringCnt > 0; the dispatch scan starts here.
+	ringNext Time
+
+	// over is a binary min-heap (by the same (time, priority, seq)
+	// order) of events scheduled at or beyond now+window.
+	over []*event
+
+	free   []*event
+	queued int
 }
 
 // NewEngine returns an engine with the clock at cycle zero.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{ring: make([][]*event, window)}
 }
 
 // Now returns the current simulation time.
@@ -87,59 +132,165 @@ func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending returns the number of events currently scheduled (including
 // canceled events not yet discarded).
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.queued }
 
 // Schedule runs fn at absolute time at. Scheduling in the past panics:
 // that is always a protocol-model bug, never a recoverable condition.
-func (e *Engine) Schedule(at Time, fn func()) *Event {
+func (e *Engine) Schedule(at Time, fn func()) EventRef {
 	return e.ScheduleWithPriority(at, 0, fn)
 }
 
 // ScheduleAfter runs fn delay cycles from now.
-func (e *Engine) ScheduleAfter(delay Time, fn func()) *Event {
+func (e *Engine) ScheduleAfter(delay Time, fn func()) EventRef {
 	return e.ScheduleWithPriority(e.now+delay, 0, fn)
 }
 
 // ScheduleWithPriority runs fn at time at; among events scheduled for the
 // same cycle, lower priority values run first.
-func (e *Engine) ScheduleWithPriority(at Time, priority int, fn func()) *Event {
+func (e *Engine) ScheduleWithPriority(at Time, priority int, fn func()) EventRef {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
 	}
 	if fn == nil {
 		panic("sim: schedule nil function")
 	}
-	ev := &Event{At: at, Priority: priority, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.at, ev.priority, ev.seq, ev.fn, ev.canceled = at, priority, e.seq, fn, false
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	e.queued++
+	if at-e.now < window {
+		b := at & windowMask
+		e.ring[b] = append(e.ring[b], ev)
+		if e.ringCnt == 0 || at < e.ringNext {
+			e.ringNext = at
+		}
+		e.ringCnt++
+	} else {
+		e.overPush(ev)
+	}
+	return EventRef{ev: ev, gen: ev.gen}
+}
+
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// recycle invalidates outstanding refs to ev and returns it to the free
+// list.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.canceled = false
+	ev.gen++
+	e.free = append(e.free, ev)
+}
+
+// nextTime returns the earliest pending event time (canceled events
+// included — they are discarded during dispatch).
+func (e *Engine) nextTime() (Time, bool) {
+	if e.ringCnt > 0 {
+		t := e.ringNext
+		for len(e.ring[t&windowMask]) == 0 {
+			t++
+		}
+		e.ringNext = t
+		if len(e.over) > 0 && e.over[0].at < t {
+			return e.over[0].at, true
+		}
+		return t, true
+	}
+	if len(e.over) > 0 {
+		return e.over[0].at, true
+	}
+	return 0, false
+}
+
+// bucketMin returns the index of the (priority, seq)-minimal event in a
+// bucket. All events in a bucket share one time, so no time comparison is
+// needed.
+func bucketMin(b []*event) int {
+	mi := 0
+	for i := 1; i < len(b); i++ {
+		ev, m := b[i], b[mi]
+		if ev.priority < m.priority || (ev.priority == m.priority && ev.seq < m.seq) {
+			mi = i
+		}
+	}
+	return mi
+}
+
+// fireNext executes the single next live event if its time is ≤ limit,
+// discarding canceled events it meets on the way. It reports whether an
+// event fired.
+func (e *Engine) fireNext(limit Time) bool {
+	for {
+		if e.stopped {
+			return false
+		}
+		t, ok := e.nextTime()
+		if !ok || t > limit {
+			return false
+		}
+		var ev *event
+		fromRing := false
+		b := e.ring[t&windowMask]
+		bi := -1
+		if len(b) > 0 && b[0].at == t {
+			bi = bucketMin(b)
+		}
+		switch {
+		case bi >= 0 && len(e.over) > 0 && e.over[0].at == t:
+			if less(b[bi], e.over[0]) {
+				ev, fromRing = b[bi], true
+			} else {
+				ev = e.over[0]
+			}
+		case bi >= 0:
+			ev, fromRing = b[bi], true
+		default:
+			ev = e.over[0]
+		}
+		if fromRing {
+			n := len(b) - 1
+			b[bi] = b[n]
+			b[n] = nil
+			e.ring[t&windowMask] = b[:n]
+			e.ringCnt--
+		} else {
+			e.overPop()
+		}
+		e.queued--
+		if ev.canceled {
+			e.recycle(ev)
+			continue
+		}
+		if ev.at < e.now {
+			panic(fmt.Sprintf("sim: time went backwards: %d < %d", ev.at, e.now))
+		}
+		fn := ev.fn
+		e.recycle(ev)
+		e.now = t
+		e.fired++
+		fn()
+		return true
+	}
 }
 
 // Step executes the single next event. It returns false when the queue is
 // empty or the engine has been stopped.
 func (e *Engine) Step() bool {
-	for {
-		if e.stopped || len(e.queue) == 0 {
-			return false
-		}
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.canceled {
-			continue
-		}
-		if ev.At < e.now {
-			panic(fmt.Sprintf("sim: time went backwards: %d < %d", ev.At, e.now))
-		}
-		e.now = ev.At
-		e.fired++
-		ev.fn()
-		return true
-	}
+	return e.fireNext(MaxTime)
 }
 
 // Run executes events until the queue drains or Stop is called. It returns
 // the final simulation time.
 func (e *Engine) Run() Time {
-	for e.Step() {
+	for e.fireNext(MaxTime) {
 	}
 	return e.now
 }
@@ -158,12 +309,7 @@ func (e *Engine) RunUntilChecked(limit Time, every int, check func() error) (Tim
 		every = 4096
 	}
 	n := 0
-	for !e.stopped && len(e.queue) > 0 {
-		next := e.peek()
-		if next == nil || next.At > limit {
-			break
-		}
-		e.Step()
+	for e.fireNext(limit) {
 		if n++; n >= every {
 			n = 0
 			if err := check(); err != nil {
@@ -181,15 +327,7 @@ func (e *Engine) RunUntilChecked(limit Time, every int, check func() error) (Tim
 // limit remain queued. It returns the final simulation time, which never
 // exceeds limit.
 func (e *Engine) RunUntil(limit Time) Time {
-	for !e.stopped && len(e.queue) > 0 {
-		next := e.peek()
-		if next == nil {
-			break
-		}
-		if next.At > limit {
-			break
-		}
-		e.Step()
+	for e.fireNext(limit) {
 	}
 	if e.now > limit {
 		panic("sim: RunUntil overshot limit")
@@ -197,21 +335,50 @@ func (e *Engine) RunUntil(limit Time) Time {
 	return e.now
 }
 
-// peek returns the next non-canceled event without executing it, discarding
-// canceled events it finds on the way.
-func (e *Engine) peek() *Event {
-	for len(e.queue) > 0 {
-		ev := e.queue[0]
-		if !ev.canceled {
-			return ev
-		}
-		heap.Pop(&e.queue)
-	}
-	return nil
-}
-
 // Stop halts the engine: Run and Step return immediately afterwards.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Stopped reports whether Stop has been called.
 func (e *Engine) Stopped() bool { return e.stopped }
+
+// overPush inserts an event into the overflow heap.
+func (e *Engine) overPush(ev *event) {
+	e.over = append(e.over, ev)
+	i := len(e.over) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !less(e.over[i], e.over[p]) {
+			break
+		}
+		e.over[i], e.over[p] = e.over[p], e.over[i]
+		i = p
+	}
+}
+
+// overPop removes and returns the overflow heap's minimum.
+func (e *Engine) overPop() *event {
+	h := e.over
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	h = h[:n]
+	e.over = h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			break
+		}
+		c := l
+		if r < n && less(h[r], h[l]) {
+			c = r
+		}
+		if !less(h[c], h[i]) {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+	return top
+}

@@ -93,7 +93,7 @@ func TestCancelSkipsEvent(t *testing.T) {
 func TestCancelFromEarlierEvent(t *testing.T) {
 	e := NewEngine()
 	ran := false
-	var victim *Event
+	var victim EventRef
 	e.Schedule(1, func() { victim.Cancel() })
 	victim = e.Schedule(2, func() { ran = true })
 	e.Run()

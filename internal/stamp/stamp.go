@@ -49,6 +49,13 @@ const (
 	Vacation  App = "vacation"
 )
 
+// MaxThreads is the widest thread count the presets generate, matching
+// the simulator's 128-processor machine ceiling (config.MaxProcessors).
+// Every preset divides its fixed transaction pool across threads the way
+// STAMP divides work, so the 64- and 128-thread scale points are just
+// wider splits of the same workload.
+const MaxThreads = 128
+
 // PaperApps returns the applications in the paper's evaluation, in the
 // order its figures present them.
 func PaperApps() []App { return []App{Genome, Yada, Intruder} }
@@ -201,11 +208,15 @@ func MustSpec(app App) workload.Spec {
 }
 
 // Generate builds the deterministic trace for app with the given thread
-// count and seed.
+// count and seed. Thread counts above MaxThreads are rejected: no machine
+// configuration can run the resulting trace.
 func Generate(app App, threads int, seed uint64) (*workload.Trace, error) {
 	s, err := Spec(app)
 	if err != nil {
 		return nil, err
+	}
+	if threads > MaxThreads {
+		return nil, fmt.Errorf("stamp: %d threads exceed the %d-processor machine ceiling", threads, MaxThreads)
 	}
 	return s.Generate(threads, seed)
 }

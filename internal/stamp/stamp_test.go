@@ -127,3 +127,32 @@ func TestWorkAmountIndependentOfThreads(t *testing.T) {
 		}
 	}
 }
+
+func TestGenerateAtScaleAxisWidths(t *testing.T) {
+	// Every preset must generate a valid trace at the 64p and 128p scale
+	// points: per-thread streams stay non-empty (the generator floors at
+	// one transaction per thread) and the work pool still does not grow
+	// with the thread count beyond that floor.
+	for _, app := range AllApps() {
+		for _, threads := range []int{64, MaxThreads} {
+			tr, err := Generate(app, threads, 42)
+			if err != nil {
+				t.Fatalf("%s at %d threads: %v", app, threads, err)
+			}
+			if tr.NumThreads() != threads {
+				t.Fatalf("%s: %d threads generated, want %d", app, tr.NumThreads(), threads)
+			}
+			for i := range tr.Threads {
+				if len(tr.Threads[i].Txs) == 0 {
+					t.Fatalf("%s at %d threads: thread %d got no work", app, threads, i)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateRejectsOverwideMachines(t *testing.T) {
+	if _, err := Generate(Genome, MaxThreads+1, 1); err == nil {
+		t.Fatalf("%d threads accepted beyond the machine ceiling", MaxThreads+1)
+	}
+}

@@ -5,7 +5,9 @@
 package tcc
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 
 	"repro/internal/cache"
 	"repro/internal/mem"
@@ -104,8 +106,15 @@ type Processor struct {
 	// dies: every abort and freeze increments it.
 	gen uint64
 	// pending is the cancellable local event (compute burst, hit
-	// sequence, restart).
-	pending *sim.Event
+	// sequence, restart). Every abort path cancels it, which is what
+	// lets the pre-bound advance callbacks below skip the generation
+	// guard in-flight bus replies need.
+	pending sim.EventRef
+	// advanceFn and beginTxFn are the pre-bound local-event callbacks
+	// (op completion and inter-tx gap completion): binding them once per
+	// processor keeps the per-operation hot path allocation-free.
+	advanceFn func()
+	beginTxFn func()
 
 	txIdx    int
 	opIdx    int
@@ -131,11 +140,18 @@ type Processor struct {
 	commitDirs  []int // directories the current commit touches, ascending
 	commitsLeft int   // outstanding per-directory commit completions
 
+	// Reused scratch storage for the commit path: the sorted line
+	// buffers and the directory-dedup flags would otherwise be
+	// reallocated on every transaction.
+	commitScratch []mem.LineAddr
+	readDirsBuf   []int
+	dirFlag       []bool
+
 	stats ProcStats
 }
 
 func newProcessor(id int, sys *System, l1 *cache.Cache, thread *workload.Thread) *Processor {
-	return &Processor{
+	p := &Processor{
 		id:            id,
 		sys:           sys,
 		l1:            l1,
@@ -146,7 +162,18 @@ func newProcessor(id int, sys *System, l1 *cache.Cache, thread *workload.Thread)
 		versions:      make(map[mem.LineAddr]uint64),
 		readVersions:  make(map[mem.LineAddr]uint64),
 		announcedDirs: make(map[int]bool),
+		dirFlag:       make([]bool, sys.cfg.Machine.Directories),
 	}
+	p.advanceFn = func() {
+		p.pending = sim.EventRef{}
+		p.opIdx++
+		p.step()
+	}
+	p.beginTxFn = func() {
+		p.pending = sim.EventRef{}
+		p.beginTx()
+	}
+	return p
 }
 
 // ID implements directory.ProcessorPort.
@@ -169,10 +196,8 @@ func (p *Processor) setState(s procState) {
 
 // cancelPending cancels the outstanding local event, if any.
 func (p *Processor) cancelPending() {
-	if p.pending != nil {
-		p.pending.Cancel()
-		p.pending = nil
-	}
+	p.pending.Cancel()
+	p.pending = sim.EventRef{}
 }
 
 // start launches the thread at simulation time zero.
@@ -192,14 +217,7 @@ func (p *Processor) scheduleInterTx() {
 	if gap < 1 {
 		gap = 1
 	}
-	gen := p.gen
-	p.pending = p.sys.eng.ScheduleAfter(gap, func() {
-		if p.gen != gen {
-			return
-		}
-		p.pending = nil
-		p.beginTx()
-	})
+	p.pending = p.sys.eng.ScheduleAfter(gap, p.beginTxFn)
 }
 
 // beginTx starts (or restarts) the current transaction from its first
@@ -232,15 +250,7 @@ func (p *Processor) step() {
 		op := tx.Ops[p.opIdx]
 		switch op.Kind {
 		case workload.OpCompute:
-			gen := p.gen
-			p.pending = p.sys.eng.ScheduleAfter(sim.Time(op.Cycles), func() {
-				if p.gen != gen {
-					return
-				}
-				p.pending = nil
-				p.opIdx++
-				p.step()
-			})
+			p.pending = p.sys.eng.ScheduleAfter(sim.Time(op.Cycles), p.advanceFn)
 			return
 		case workload.OpRead, workload.OpWrite:
 			write := op.Kind == workload.OpWrite
@@ -260,15 +270,7 @@ func (p *Processor) step() {
 			}
 			if hit {
 				// Hit: pay the L1 latency, continue with the next op.
-				gen := p.gen
-				p.pending = p.sys.eng.ScheduleAfter(p.sys.cfg.Machine.L1HitCycles, func() {
-					if p.gen != gen {
-						return
-					}
-					p.pending = nil
-					p.opIdx++
-					p.step()
-				})
+				p.pending = p.sys.eng.ScheduleAfter(p.sys.cfg.Machine.L1HitCycles, p.advanceFn)
 				return
 			}
 			p.issueMiss(op.Line, !write, inserted)
@@ -331,7 +333,7 @@ func (p *Processor) withdrawIntents() {
 	for di := range p.announcedDirs {
 		p.sys.dirs[di].WithdrawIntent(p.id)
 	}
-	p.announcedDirs = make(map[int]bool)
+	clear(p.announcedDirs)
 }
 
 // issueMiss sends a read request to the line's home directory and stalls.
@@ -404,13 +406,15 @@ func (p *Processor) reachCommitPoint() {
 func (p *Processor) enterCommitQueue() {
 	p.setState(stateCommitWait)
 	p.commitDirs = p.commitDirs[:0]
-	seen := make(map[int]struct{})
-	for _, l := range sortedSet(p.writeSet) {
+	for l := range p.writeSet {
 		home := p.sys.geom.HomeDir(l)
-		if _, ok := seen[home]; !ok {
-			seen[home] = struct{}{}
+		if !p.dirFlag[home] {
+			p.dirFlag[home] = true
 			p.commitDirs = append(p.commitDirs, home)
 		}
+	}
+	for _, di := range p.commitDirs {
+		p.dirFlag[di] = false
 	}
 	sortInts(p.commitDirs)
 	for _, di := range p.commitDirs {
@@ -419,17 +423,23 @@ func (p *Processor) enterCommitQueue() {
 	p.sys.tryGrant()
 }
 
-// readDirs returns the home directories of the read-set, deduplicated.
+// readDirs returns the home directories of the read-set, deduplicated,
+// in a per-processor scratch buffer valid until the next call. The order
+// is unspecified: the only consumer ANDs HasOlderMark over the set, which
+// is order-independent.
 func (p *Processor) readDirs() []int {
-	seen := make(map[int]struct{})
-	var out []int
-	for _, l := range sortedSet(p.readSet) {
+	out := p.readDirsBuf[:0]
+	for l := range p.readSet {
 		home := p.sys.geom.HomeDir(l)
-		if _, ok := seen[home]; !ok {
-			seen[home] = struct{}{}
+		if !p.dirFlag[home] {
+			p.dirFlag[home] = true
 			out = append(out, home)
 		}
 	}
+	for _, di := range out {
+		p.dirFlag[di] = false
+	}
+	p.readDirsBuf = out
 	return out
 }
 
@@ -464,16 +474,35 @@ func (p *Processor) grant() {
 	}
 	p.setState(stateCommitting)
 	p.commitsLeft = len(p.commitDirs)
-	byDir := make(map[int][]mem.LineAddr, len(p.commitDirs))
-	for _, l := range sortedSet(p.writeSet) {
-		home := p.sys.geom.HomeDir(l)
-		byDir[home] = append(byDir[home], l)
+	// Partition the write-set per home directory without a map: sorted by
+	// (home, line), each directory's lines form one contiguous ascending
+	// group of the scratch buffer. The sub-slices stay untouched until
+	// every directory's commit walk completes (completeCommit runs only
+	// after the last one), so handing them to BeginCommit is safe.
+	lines := p.commitScratch[:0]
+	for l := range p.writeSet {
+		lines = append(lines, l)
 	}
+	p.commitScratch = lines
+	geom := p.sys.geom
+	slices.SortFunc(lines, func(a, b mem.LineAddr) int {
+		ha, hb := geom.HomeDir(a), geom.HomeDir(b)
+		if ha != hb {
+			return ha - hb
+		}
+		return cmp.Compare(a, b)
+	})
+	lo := 0
 	for _, di := range p.commitDirs {
+		hi := lo
+		for hi < len(lines) && geom.HomeDir(lines[hi]) == di {
+			hi++
+		}
 		dir := p.sys.dirs[di]
-		lines := byDir[di]
+		group := lines[lo:hi]
+		lo = hi
 		p.sys.bus.Send(func() {
-			dir.BeginCommit(p.id, lines, func() {
+			dir.BeginCommit(p.id, group, func() {
 				p.commitsLeft--
 				if p.commitsLeft == 0 {
 					p.completeCommit()
@@ -521,9 +550,9 @@ func (p *Processor) clearSpec(abort bool) {
 	for _, l := range p.l1.ClearSpeculative(abort) {
 		delete(p.versions, l)
 	}
-	p.readSet = make(map[mem.LineAddr]struct{})
-	p.writeSet = make(map[mem.LineAddr]struct{})
-	p.readVersions = make(map[mem.LineAddr]uint64)
+	clear(p.readSet)
+	clear(p.writeSet)
+	clear(p.readVersions)
 	p.withdrawIntents()
 }
 

@@ -2,6 +2,7 @@ package tcc
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/bus"
@@ -33,9 +34,23 @@ type System struct {
 	done           int
 	endTime        sim.Time
 	tryGrantQueued bool
+	tryGrantFn     func() // pre-bound deferred grant round
 	traceName      string
 	rec            *trace.Recorder
 	cancel         func() error
+
+	// Reused grant-round scratch: candidate list and claimed-directory
+	// flags (with the claim list that un-sets them), cleared after every
+	// round.
+	candScratch []grantCand
+	grantedDirs []bool
+	claimedList []int
+}
+
+// grantCand is one commit-wait processor considered by a grant round.
+type grantCand struct {
+	p   *Processor
+	tid tokens.TID
 }
 
 // SetCancel installs a hook polled periodically (on event-count
@@ -72,6 +87,11 @@ func NewSystem(cfg config.Config, trace *workload.Trace) (*System, error) {
 	}
 	s.traceName = trace.Name
 	s.bus = bus.New(s.eng, cfg.Machine.BusCycles)
+	s.tryGrantFn = func() {
+		s.tryGrantQueued = false
+		s.tryGrant()
+	}
+	s.grantedDirs = make([]bool, cfg.Machine.Directories)
 
 	policy := policyFor(cfg.Gating)
 	s.dirs = make([]*directory.Directory, cfg.Machine.Directories)
@@ -127,36 +147,44 @@ func (s *System) threadDone() {
 }
 
 // scheduleTryGrant defers a grant evaluation to the end of the current
-// cycle (coalescing repeated requests within one event cascade).
+// cycle (coalescing repeated requests within one event cascade): however
+// many commits complete or marks are withdrawn this cycle, one batched
+// grant round runs, and it considers every candidate.
 func (s *System) scheduleTryGrant() {
 	if s.tryGrantQueued {
 		return
 	}
 	s.tryGrantQueued = true
-	s.eng.ScheduleWithPriority(s.eng.Now(), 1, func() {
-		s.tryGrantQueued = false
-		s.tryGrant()
-	})
+	s.eng.ScheduleWithPriority(s.eng.Now(), 1, s.tryGrantFn)
 }
 
-// tryGrant implements the Scalable-TCC commit serialization: a marked
-// committer starts writing once it heads the TID queue in every directory
-// its write-set touches and none of those directories is busy. Candidates
-// are examined oldest-TID first, so the globally oldest committer always
-// makes progress — the property that keeps commit deadlock-free.
+// tryGrant implements the Scalable-TCC commit serialization as one
+// batched arbitration round: every commit-wait processor is a candidate,
+// examined oldest-TID first, and a committer starts writing once it heads
+// the TID queue in every directory its write-set touches, none of those
+// directories is busy, and no candidate granted earlier in the round has
+// claimed them. Oldest-first examination keeps the globally oldest
+// committer making progress — the property that keeps commit
+// deadlock-free.
 func (s *System) tryGrant() {
-	type cand struct {
-		p   *Processor
-		tid tokens.TID
-	}
-	var cands []cand
+	cands := s.candScratch[:0]
 	for _, p := range s.procs {
 		if p.state == stateCommitWait && len(p.commitDirs) > 0 {
-			cands = append(cands, cand{p, p.tid})
+			cands = append(cands, grantCand{p, p.tid})
 		}
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].tid < cands[j].tid })
-	granted := make(map[int]bool) // directories claimed in this pass
+	s.candScratch = cands
+	slices.SortFunc(cands, func(a, b grantCand) int {
+		if a.tid < b.tid {
+			return -1
+		}
+		if a.tid > b.tid {
+			return 1
+		}
+		return 0
+	})
+	granted := s.grantedDirs // directories claimed in this round
+	claimed := s.claimedList[:0]
 	for _, c := range cands {
 		ok := true
 		for _, di := range c.p.commitDirs {
@@ -180,12 +208,20 @@ func (s *System) tryGrant() {
 			}
 		}
 		if ok {
+			// Claim the directories before granting: grant() may abort
+			// the candidate at validation and clear its commitDirs, so
+			// the claims are tracked separately for the round reset.
 			for _, di := range c.p.commitDirs {
 				granted[di] = true
+				claimed = append(claimed, di)
 			}
 			c.p.grant()
 		}
 	}
+	for _, di := range claimed {
+		granted[di] = false
+	}
+	s.claimedList = claimed
 }
 
 // policyFor maps the configured policy kind onto a contention manager.
@@ -274,17 +310,6 @@ func (s *System) Run() (*Result, error) {
 		res.DirStats[i] = d.Stats()
 	}
 	return res, nil
-}
-
-// sortedSet returns the keys of a line set in ascending order; commit
-// traffic must not depend on map iteration order.
-func sortedSet(set map[mem.LineAddr]struct{}) []mem.LineAddr {
-	out := make([]mem.LineAddr, 0, len(set))
-	for l := range set {
-		out = append(out, l)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
 }
 
 func sortInts(xs []int) { sort.Ints(xs) }
