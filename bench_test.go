@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/bus"
 	"repro/internal/cacti"
 	"repro/internal/config"
 	"repro/internal/core"
@@ -296,6 +297,48 @@ func BenchmarkEngineHotPath(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+		})
+	}
+}
+
+// interconnectScalingOccupancy is the per-message bus hold time of the
+// interconnect scaling study: a 64-byte line on a 64-bit data path is 8
+// transfer beats. Table II's 2-cycle occupancy models an aggressive wide
+// bus where even 128 processors leave the wires ~25% utilized and
+// banking has nothing to relieve; at line-beat occupancy the single bus
+// saturates (>90% utilization at 128p) and the scale axis becomes an
+// interconnect experiment rather than a memory-latency one.
+const interconnectScalingOccupancy = sim.Time(8)
+
+// BenchmarkInterconnectScaling is the banked interconnect's payoff
+// measurement: one paired 128-processor run-cell of the high-conflict
+// preset per interconnect shape, at line-beat bus occupancy. cells/s
+// compares the shapes' simulation throughput (the banked model finishes
+// the same workload in fewer simulated cycles); wait-cycles/msg is the
+// modeled contention each message suffered. cmd/benchsnap records the
+// banks=1 and banks=4 lanes in BENCH_engine.json on every CI run.
+func BenchmarkInterconnectScaling(b *testing.B) {
+	for _, banks := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("np128/banks%d", banks), func(b *testing.B) {
+			rs := benchSpec(b, stamp.Intruder, 128, 0)
+			rs.Configure = func(c *config.Config) {
+				c.Machine.Banks = banks
+				c.Machine.BusCycles = interconnectScalingOccupancy
+			}
+			b.ReportAllocs()
+			var st bus.Stats
+			var n1 sim.Time
+			for i := 0; i < b.N; i++ {
+				out, err := core.RunPair(rs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st = out.Ungated.BusStats
+				n1 = out.Ungated.Cycles
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+			b.ReportMetric(float64(st.WaitCycles)/float64(st.Messages), "wait-cycles/msg")
+			b.ReportMetric(float64(st.BusyCycles)/float64(n1)/float64(banks), "utilization")
 		})
 	}
 }

@@ -78,14 +78,28 @@
 //	experiments -ablations       -> NewSession(opts).Ablations(ctx)
 //
 // Beyond the paper's grid, the scenario matrix names every runnable case
-// — each STAMP preset at 1–128 processors, several gating windows and
-// contention levels — as addressable case IDs (see docs/E2E.md). Case
-// IDs are append-only: the original 1–32 processor grid keeps
-// M00001–M00432, and the 48/64/96/128-processor scale block is appended
-// as M00433–M00720:
+// — each STAMP preset at 1–128 processors, several gating windows,
+// contention levels and interconnect shapes — as addressable case IDs
+// (see docs/E2E.md). Case IDs are append-only: the original 1–32
+// processor grid keeps M00001–M00432, the 48/64/96/128-processor scale
+// block is appended as M00433–M00720, and the banked-interconnect block
+// as M00721–M00752:
 //
 //	sc, _ := clockgate.ScenarioByID("M00042")
 //	campaign, err := clockgate.RunScenarios(opts, []clockgate.Scenario{sc})
+//
+// # Interconnect models
+//
+// The machine's interconnect is either the paper's single
+// split-transaction bus (the default) or an address-interleaved banked
+// bus opening the 64/128-processor scale axis: Config.Machine.Banks
+// selects the shape (0 = single bus, a power of two = that many banks),
+// DefaultBankedConfig64/128 are the wide presets, CampaignOptions.Banks
+// and Cell.Banks thread it through campaigns, and `cmd/experiments
+// -banks N` through the CLI. Banks=1 is cycle-identical to the single
+// bus — a differential golden over the whole E2E done-set pins that —
+// and docs/ENGINE.md specifies the interleave function and cross-bank
+// dispatch order.
 package clockgate
 
 import (
@@ -147,6 +161,19 @@ const MaxProcessors = config.MaxProcessors
 // 64- and 128-processor scale points are also available as
 // config presets (config.Default64 / config.Default128).
 func DefaultConfig(processors int) Config { return config.Default(processors) }
+
+// MaxBanks is the banked interconnect's bank-count ceiling (banks must
+// be a power of two).
+const MaxBanks = config.MaxBanks
+
+// DefaultBankedConfig64 returns the 64-processor machine on a 4-banked
+// interconnect — the first wide design point where the single split bus
+// starts to saturate.
+func DefaultBankedConfig64() Config { return config.DefaultBanked64() }
+
+// DefaultBankedConfig128 returns the widest machine (MaxProcessors) on
+// an 8-banked interconnect.
+func DefaultBankedConfig128() Config { return config.DefaultBanked128() }
 
 // PowerModel re-exports the Table I power model.
 type PowerModel = power.Model
@@ -367,6 +394,12 @@ func MatrixProcessors() []int {
 // cores, case IDs M00433–M00720).
 func MatrixExtensionProcessors() []int {
 	return append([]int(nil), experiments.MatrixExtensionProcessors...)
+}
+
+// MatrixBankedBanks returns the banked-interconnect block's bank axis
+// (case IDs M00721–M00752 pair it with the 64/128-processor machines).
+func MatrixBankedBanks() []int {
+	return append([]int(nil), experiments.MatrixBankedBanks...)
 }
 
 // ScenarioByID resolves a case id such as "M00042".

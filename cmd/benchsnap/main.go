@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/stamp"
@@ -99,6 +100,45 @@ func main() {
 		m["cell_32p_cells_per_sec"] = 1e9 / float64(r.NsPerOp())
 		m["cell_32p_allocs"] = float64(r.AllocsPerOp())
 		m["cell_32p_bytes"] = float64(r.AllocedBytesPerOp())
+	}
+
+	// Interconnect scaling: the same 128-processor paired cell on the
+	// single-bank and the 4-banked bus, at line-beat occupancy (8 cycles —
+	// a 64-byte line on a 64-bit path), where the single bus saturates.
+	// Recording both shapes makes the banked model's contention relief a
+	// tracked number: interconnect_scaling_128p is the banked/single
+	// cells-per-second ratio (BenchmarkInterconnectScaling is the
+	// interactive form of the same measurement).
+	{
+		spec := stamp.MustSpec(stamp.Intruder)
+		spec.TotalTxs /= 4
+		tr, err := spec.Generate(128, 42)
+		if err != nil {
+			fatal(err)
+		}
+		for _, banks := range []int{1, 4} {
+			rs := core.RunSpec{Trace: tr, Processors: 128, Seed: 42,
+				Configure: func(c *config.Config) {
+					c.Machine.Banks = banks
+					c.Machine.BusCycles = 8
+				}}
+			var wait, msgs uint64
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					out, err := core.RunPair(rs)
+					if err != nil {
+						b.Fatal(err)
+					}
+					wait, msgs = out.Ungated.BusStats.WaitCycles, out.Ungated.BusStats.Messages
+				}
+			})
+			key := fmt.Sprintf("cell_128p_banks%d", banks)
+			m[key+"_ns"] = float64(r.NsPerOp())
+			m[key+"_cells_per_sec"] = 1e9 / float64(r.NsPerOp())
+			m[key+"_wait_cycles_per_msg"] = float64(wait) / float64(msgs)
+		}
+		m["interconnect_scaling_128p"] = m["cell_128p_banks4_cells_per_sec"] /
+			m["cell_128p_banks1_cells_per_sec"]
 	}
 
 	snap := snapshot{

@@ -58,6 +58,7 @@ func main() {
 		scale      = flag.Float64("scale", 1.0, "workload size multiplier")
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "campaign worker goroutines (1 = sequential; output is identical either way)")
 		procs      = flag.String("procs", "", "comma-separated processor counts overriding the paper's 4,8,16 sweep (up to 128, e.g. \"32,64,128\")")
+		banks      = flag.Int("banks", 0, "interconnect banks: 0 = the single split bus, a power of two = the address-interleaved banked bus (cells that pin their own shape, like matrix cases M00721+, keep it)")
 		shardSpec  = flag.String("shard", "", "run only shard i of n campaign cells, as \"i/n\"; shard CSVs concatenate cleanly (only shard 0 writes the header)")
 		matrix     = flag.String("matrix", "", "run scenario-matrix cases: comma-separated ids/names, \"done\", or \"all\"")
 		matrixList = flag.Bool("matrix-list", false, "list every scenario-matrix case")
@@ -97,6 +98,10 @@ func main() {
 		}
 		opts.Processors = list
 	}
+	if err := config.ValidateBanks(*banks); err != nil {
+		fatal(fmt.Errorf("-banks %d must be 0 (single bus) or a power of two up to %d", *banks, config.MaxBanks))
+	}
+	opts.Banks = *banks
 
 	shard, err := parseShard(*shardSpec)
 	if err != nil {

@@ -1,19 +1,26 @@
-// Package bus models the interconnect of the baseline system: a common
-// split-transaction bus (paper Table II). A split-transaction bus separates
-// the request from the reply, so the bus is held only for the cycles a
-// message occupies the wires, not for the whole memory round-trip.
+// Package bus models the interconnect of the simulated machine. Two
+// implementations of one Interconnect interface exist:
 //
-// The model is a single shared resource with batched FIFO arbitration.
-// Senders do not schedule per-request events: they enqueue on the
-// arbitration queue, and one grant-round event — scheduled for the cycle
-// the bus next frees up — drains every queued requester in arrival order,
-// assigning each the next `occupancy`-cycle slot. Granted messages then
-// deliver through a single chained delivery event walking the slot ends.
-// The slot arithmetic is identical to a per-request reservation model
-// (each message occupies the earliest free slot at or after its issue
-// time), so latency grows under contention exactly the way a real shared
-// bus serializes traffic — but arbitration costs one event per round, not
-// per message, and the queues recycle their storage.
+//   - Bus, the common split-transaction bus of the paper's Table II: a
+//     single shared resource with batched FIFO arbitration. A
+//     split-transaction bus separates the request from the reply, so the
+//     bus is held only for the cycles a message occupies the wires, not
+//     for the whole memory round-trip.
+//   - BankedBus (banked.go), an address-interleaved N-banked bus that
+//     opens the 64/128-processor scale axis: each bank is an independent
+//     split bus arbitrating its own FIFO, and same-cycle deliveries across
+//     banks are serviced in a deterministic round-robin.
+//
+// In both models senders do not schedule per-request events: they enqueue
+// on an arbitration queue, and one grant-round event — scheduled for the
+// cycle the (bank's) wires next free up — drains every queued requester in
+// arrival order, assigning each the next `occupancy`-cycle slot. Granted
+// messages then deliver through a single chained delivery event walking
+// the slot ends. The slot arithmetic is identical to a per-request
+// reservation model (each message occupies the earliest free slot at or
+// after its issue time), so latency grows under contention exactly the way
+// a real shared bus serializes traffic — but arbitration costs one event
+// per round, not per message, and the queues recycle their storage.
 package bus
 
 import (
@@ -22,6 +29,41 @@ import (
 	"repro/internal/fifo"
 	"repro/internal/sim"
 )
+
+// Interconnect is the system's view of the interconnect. Send transmits a
+// message on the given bank (the single bus ignores the bank); deliver
+// runs when the message has crossed the wires. All methods must be called
+// from engine event context (the simulator is single-goroutine by design).
+type Interconnect interface {
+	// Send enqueues a message on bank's arbitration queue; deliver runs
+	// when the message has crossed. Banked implementations panic on a bank
+	// outside [0, Banks()).
+	Send(bank int, deliver func())
+	// Banks returns the number of independent banks (1 for the single bus).
+	Banks() int
+	// Occupancy returns the per-message hold time of one bank's wires.
+	Occupancy() sim.Time
+	// Stats returns the activity counters, aggregated over banks.
+	Stats() Stats
+	// Queued returns the number of messages awaiting arbitration or
+	// delivery across all banks.
+	Queued() int
+	// Utilization returns busy-cycles over elapsed wire-capacity cycles
+	// (elapsed time times bank count) at the current time.
+	Utilization() float64
+}
+
+// BankOf maps an interleave key onto a bank. Lines interleave by line
+// address; control messages with no address (token round trips, gating
+// commands) interleave by the sending component's id. banks must be a
+// power of two — the bank is the key's low lg(banks) bits — and with one
+// bank every key maps to bank 0.
+func BankOf(key uint64, banks int) int {
+	if banks <= 1 {
+		return 0
+	}
+	return int(key & uint64(banks-1))
+}
 
 // Stats counts bus activity.
 type Stats struct {
@@ -78,6 +120,9 @@ func New(eng *sim.Engine, occupancy sim.Time) *Bus {
 // Occupancy returns the per-message hold time.
 func (b *Bus) Occupancy() sim.Time { return b.occupancy }
 
+// Banks implements Interconnect: the single bus is one bank.
+func (b *Bus) Banks() int { return 1 }
+
 // Stats returns a copy of the activity counters.
 func (b *Bus) Stats() Stats { return b.stats }
 
@@ -86,8 +131,9 @@ func (b *Bus) Queued() int { return b.reqs.Len() + b.dels.Len() }
 
 // Send transmits a message: deliver runs when the message has crossed the
 // bus. The message joins the arbitration queue and is granted a slot by
-// the next grant round, in FIFO order.
-func (b *Bus) Send(deliver func()) {
+// the next grant round, in FIFO order. The bank is ignored: every message
+// shares the one set of wires.
+func (b *Bus) Send(_ int, deliver func()) {
 	if deliver == nil {
 		panic("bus: nil deliver callback")
 	}

@@ -15,6 +15,12 @@ import (
 // the scale axis tops out at 128 cores; Validate rejects anything wider.
 const MaxProcessors = 128
 
+// MaxBanks bounds the banked interconnect's bank count. Banks must be a
+// power of two (the address interleave masks low line-address bits), and
+// more banks than half the machine's ceiling would model more independent
+// wire sets than components that could drive them.
+const MaxBanks = 64
+
 // Machine describes the simulated hardware platform (paper Table II).
 type Machine struct {
 	// Processors is the number of single-issue in-order cores (1–16 in
@@ -33,8 +39,16 @@ type Machine struct {
 	// L1HitCycles is the L1 hit latency (1 cycle).
 	L1HitCycles sim.Time
 	// BusCycles is the occupancy of one message on the common
-	// split-transaction bus.
+	// split-transaction bus (per bank, when Banks selects the banked
+	// interconnect).
 	BusCycles sim.Time
+	// Banks selects the interconnect model: 0 (the default) is the
+	// paper's single split-transaction bus; a positive power of two is
+	// the address-interleaved banked bus with that many banks. Banks=1
+	// is the banked model degenerated to one bank — cycle-identical to
+	// the single bus, kept distinct so the two implementations can be
+	// differentially tested against each other.
+	Banks int
 	// DirectoryCycles is the directory access latency (10 cycles).
 	DirectoryCycles sim.Time
 	// MemoryCycles is the main-memory access latency (100 cycles,
@@ -150,6 +164,36 @@ func Default64() Config { return Default(64) }
 // the full-bit-vector directories support (MaxProcessors).
 func Default128() Config { return Default(128) }
 
+// DefaultBanked64 is the 64-processor machine on a 4-banked interconnect:
+// the wide-machine design point where the single bus starts to saturate
+// and banking first pays off.
+func DefaultBanked64() Config { return Default64().WithBanks(4) }
+
+// DefaultBanked128 is the widest machine on an 8-banked interconnect —
+// the scale-axis endpoint the banked model exists for.
+func DefaultBanked128() Config { return Default128().WithBanks(8) }
+
+// WithBanks returns a copy of c on a banks-banked interconnect (0 restores
+// the single split bus).
+func (c Config) WithBanks(banks int) Config {
+	c.Machine.Banks = banks
+	return c
+}
+
+// ValidateBanks checks a bank count in isolation: 0 selects the single
+// split bus, anything else must be a power of two no wider than MaxBanks.
+// Validate applies it to Machine.Banks; the CLI uses it to reject a bad
+// -banks value before any work starts.
+func ValidateBanks(banks int) error {
+	if banks < 0 {
+		return fmt.Errorf("config: banks %d must be non-negative", banks)
+	}
+	if banks > 0 && (banks&(banks-1) != 0 || banks > MaxBanks) {
+		return fmt.Errorf("config: banks %d must be a power of two up to %d (the address interleave masks low line bits)", banks, MaxBanks)
+	}
+	return nil
+}
+
 // WithGating returns a copy of c with the gating protocol enabled and the
 // given W0 (0 keeps the current value).
 func (c Config) WithGating(w0 sim.Time) Config {
@@ -177,6 +221,9 @@ func (c Config) Validate() error {
 	}
 	if m.L1SizeBytes <= 0 || m.L1SizeBytes%(m.L1Ways*m.L1LineBytes) != 0 {
 		return fmt.Errorf("config: L1 size %d incompatible with geometry", m.L1SizeBytes)
+	}
+	if err := ValidateBanks(m.Banks); err != nil {
+		return err
 	}
 	if m.L1HitCycles <= 0 || m.BusCycles <= 0 || m.DirectoryCycles <= 0 ||
 		m.MemoryCycles <= 0 || m.CommitLineCycles <= 0 || m.TokenCycles <= 0 {

@@ -126,3 +126,39 @@ func TestScaleAxisPresets(t *testing.T) {
 		t.Fatalf("%d processors passed validation", MaxProcessors+1)
 	}
 }
+
+func TestBankedPresetsAndValidation(t *testing.T) {
+	// The banked presets must validate as-is, pair the wide machines with
+	// their bank counts, and leave everything but the interconnect at the
+	// Table II values.
+	if cfg := DefaultBanked64(); cfg.Machine.Processors != 64 || cfg.Machine.Banks != 4 {
+		t.Fatalf("DefaultBanked64 = %dp/%d banks, want 64p/4", cfg.Machine.Processors, cfg.Machine.Banks)
+	}
+	if cfg := DefaultBanked128(); cfg.Machine.Processors != MaxProcessors || cfg.Machine.Banks != 8 {
+		t.Fatalf("DefaultBanked128 = %dp/%d banks, want %dp/8", cfg.Machine.Processors, cfg.Machine.Banks, MaxProcessors)
+	}
+	for _, cfg := range []Config{DefaultBanked64(), DefaultBanked128()} {
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("banked preset (%dp) invalid: %v", cfg.Machine.Processors, err)
+		}
+		if err := cfg.WithGating(0).Validate(); err != nil {
+			t.Fatalf("banked gated preset (%dp) invalid: %v", cfg.Machine.Processors, err)
+		}
+		want := Default(cfg.Machine.Processors).Machine
+		want.Banks = cfg.Machine.Banks
+		if cfg.Machine != want {
+			t.Fatalf("banked preset deviates beyond the interconnect: %+v", cfg.Machine)
+		}
+	}
+	// Banks must be 0 (single bus) or a power of two within MaxBanks.
+	for _, banks := range []int{0, 1, 2, 4, 8, 16, 32, 64} {
+		if err := Default(8).WithBanks(banks).Validate(); err != nil {
+			t.Errorf("banks=%d rejected: %v", banks, err)
+		}
+	}
+	for _, banks := range []int{-1, 3, 5, 6, 7, 12, 65, 128} {
+		if err := Default(8).WithBanks(banks).Validate(); err == nil {
+			t.Errorf("banks=%d passed validation", banks)
+		}
+	}
+}

@@ -118,7 +118,8 @@ type readReq struct {
 type Directory struct {
 	id       int
 	eng      *sim.Engine
-	bus      *bus.Bus
+	bus      bus.Interconnect
+	banks    int // effective interconnect bank count (>= 1)
 	cfg      config.Machine
 	gcfg     config.Gating
 	policy   cm.Policy
@@ -168,7 +169,7 @@ type Directory struct {
 }
 
 // New builds directory id. Attach must be called before traffic arrives.
-func New(id int, eng *sim.Engine, b *bus.Bus, cfg config.Machine, gcfg config.Gating, policy cm.Policy, counters *stats.Counters) *Directory {
+func New(id int, eng *sim.Engine, b bus.Interconnect, cfg config.Machine, gcfg config.Gating, policy cm.Policy, counters *stats.Counters) *Directory {
 	if cfg.Processors > MaxProcs {
 		panic(fmt.Sprintf("directory: %d processors exceed the %d-bit sharer vector", cfg.Processors, MaxProcs))
 	}
@@ -176,6 +177,7 @@ func New(id int, eng *sim.Engine, b *bus.Bus, cfg config.Machine, gcfg config.Ga
 		id:        id,
 		eng:       eng,
 		bus:       b,
+		banks:     b.Banks(),
 		cfg:       cfg,
 		gcfg:      gcfg,
 		policy:    policy,
@@ -304,7 +306,10 @@ func (d *Directory) serviceRead() {
 	ls.sharers.Add(r.proc)
 	v := ls.version
 	reply := r.reply
-	d.bus.Send(func() { reply(v) })
+	// The reply carries the line's data, so it rides the line's bank —
+	// the same FIFO later invalidations of the line use, which preserves
+	// per-line reply/invalidation ordering on every interconnect shape.
+	d.bus.Send(bus.BankOf(uint64(r.line), d.banks), func() { reply(v) })
 }
 
 // noteProcessorAlive implements the paper's local-knowledge reconciliation:
@@ -463,7 +468,7 @@ func (d *Directory) commitLine(committer int, tid tokens.TID, l mem.LineAddr) {
 	d.procs[committer].NoteLineCommitted(l, ls.version)
 	victims.ForEach(func(v int) {
 		d.counters.Invalidations++
-		d.bus.Send(func() {
+		d.bus.Send(bus.BankOf(uint64(l), d.banks), func() {
 			d.rec.Record(trace.Event{At: d.eng.Now(), Kind: trace.EvInvalidate,
 				Proc: v, Other: committer, Dir: d.id, Line: l})
 			aborted := d.procs[v].DeliverInvalidation(l, committer, d.id)
@@ -591,9 +596,12 @@ func (d *Directory) evaluateUngate(victim int, g *gateEntry, ep uint64) {
 	}
 	aborter := g.aborterProc
 	d.counters.TxInfoRequests++
-	d.bus.Send(func() {
+	// Gating control traffic has no line address; it interleaves by the
+	// issuing directory's id.
+	ctlBank := bus.BankOf(uint64(d.id), d.banks)
+	d.bus.Send(ctlBank, func() {
 		pc, ok := d.procs[aborter].TxInfo()
-		d.bus.Send(func() {
+		d.bus.Send(ctlBank, func() {
 			if g.episode != ep || !g.off {
 				return
 			}
@@ -622,7 +630,7 @@ func (d *Directory) sendOn(victim int, g *gateEntry) {
 	d.stats.Ungates++
 	d.rec.Record(trace.Event{At: d.eng.Now(), Kind: trace.EvUngate,
 		Proc: victim, Other: g.aborterProc, Dir: d.id})
-	d.bus.Send(func() { d.procs[victim].DeliverOn(d.id) })
+	d.bus.Send(bus.BankOf(uint64(d.id), d.banks), func() { d.procs[victim].DeliverOn(d.id) })
 }
 
 // ForceUngateAll is a test/shutdown hook: ungate every processor this

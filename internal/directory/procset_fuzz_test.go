@@ -1,0 +1,79 @@
+package directory
+
+import (
+	"testing"
+)
+
+// FuzzProcSet differentially tests the two-word sharer bit vector against
+// a map model. Each fuzz byte is one op: the low two bits select
+// add/remove/without/only and the rest pick the processor id, so the
+// word-boundary ids around 63/64 and the 127 ceiling get exercised.
+// After every op the full observable surface must agree with the model:
+// Has for all ids, Count, Empty, and ForEach's ascending visit order.
+func FuzzProcSet(f *testing.F) {
+	f.Add([]byte{0, 4, 252, 255, 1, 63 << 2, 64 << 1})
+	f.Add([]byte{0, 1, 2, 3})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		var s ProcSet
+		model := map[int]bool{}
+		check := func(opIdx int) {
+			t.Helper()
+			count := 0
+			for id := 0; id < MaxProcs; id++ {
+				want := model[id]
+				if want {
+					count++
+				}
+				if s.Has(id) != want {
+					t.Fatalf("op %d: Has(%d) = %v, model says %v", opIdx, id, s.Has(id), want)
+				}
+			}
+			if s.Count() != count {
+				t.Fatalf("op %d: Count = %d, model says %d", opIdx, s.Count(), count)
+			}
+			if s.Empty() != (count == 0) {
+				t.Fatalf("op %d: Empty = %v with %d members", opIdx, s.Empty(), count)
+			}
+			prev := -1
+			visited := 0
+			s.ForEach(func(id int) {
+				if id <= prev {
+					t.Fatalf("op %d: ForEach visited %d after %d (must ascend)", opIdx, id, prev)
+				}
+				if !model[id] {
+					t.Fatalf("op %d: ForEach visited non-member %d", opIdx, id)
+				}
+				prev = id
+				visited++
+			})
+			if visited != count {
+				t.Fatalf("op %d: ForEach visited %d of %d members", opIdx, visited, count)
+			}
+		}
+		for i, op := range ops {
+			id := int(op>>2) % MaxProcs
+			switch op & 3 {
+			case 0:
+				s.Add(id)
+				model[id] = true
+			case 1:
+				s.Remove(id)
+				delete(model, id)
+			case 2:
+				// Without is value-semantics: the receiver must not change.
+				before := s
+				out := s.Without(id)
+				if s != before {
+					t.Fatalf("op %d: Without mutated the receiver", i)
+				}
+				s = out
+				delete(model, id)
+			case 3:
+				s = Only(id)
+				model = map[int]bool{id: true}
+			}
+			check(i)
+		}
+	})
+}

@@ -42,6 +42,7 @@ func policyCells(o Options) []Cell {
 			Processors: np,
 			W0:         o.W0,
 			Contention: ContentionBase,
+			Banks:      o.Banks,
 			Seed:       o.Seed,
 			Variant:    PolicyVariant(pk),
 		}
@@ -55,8 +56,8 @@ func policyCells(o Options) []Cell {
 func renewalCells(o Options) []Cell {
 	np := maxProcessors(o)
 	return []Cell{
-		{Index: 0, App: stamp.Yada, Processors: np, W0: o.W0, Contention: ContentionBase, Seed: o.Seed},
-		{Index: 1, App: stamp.Yada, Processors: np, W0: o.W0, Contention: ContentionBase, Seed: o.Seed,
+		{Index: 0, App: stamp.Yada, Processors: np, W0: o.W0, Contention: ContentionBase, Banks: o.Banks, Seed: o.Seed},
+		{Index: 1, App: stamp.Yada, Processors: np, W0: o.W0, Contention: ContentionBase, Banks: o.Banks, Seed: o.Seed,
 			Variant: VariantRenewalOff},
 	}
 }
@@ -64,7 +65,7 @@ func renewalCells(o Options) []Cell {
 // srpgCell is the single paired run the SRPG ablation re-prices.
 func srpgCell(o Options) Cell {
 	return Cell{App: stamp.Intruder, Processors: maxProcessors(o), W0: o.W0,
-		Contention: ContentionBase, Seed: o.Seed}
+		Contention: ContentionBase, Banks: o.Banks, Seed: o.Seed}
 }
 
 func ablationRow(variant string, cmp power.Comparison, out *core.Outcome) AblationResult {

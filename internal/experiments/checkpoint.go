@@ -85,10 +85,16 @@ type checkpointRecord struct {
 // replay any cell that computes the same paired run. The W0 and
 // contention sentinels are normalized to the defaults they select
 // (W0 0 runs the default window, empty contention runs base), so cells
-// agree regardless of which sweep spelled the default out.
+// agree regardless of which sweep spelled the default out. Banks is part
+// of the key: unlike the trace cache (which correctly ignores it — the
+// interconnect shape never changes the workload), the checkpoint stores
+// cycle-level results, and cells differing only in interconnect shape
+// compute different timings. Banks=0 and Banks=1 stay distinct on
+// purpose: their cycle-equivalence is a tested property of the engine,
+// not an identity the persistence layer may assume.
 func cellKey(c Cell) string {
-	return fmt.Sprintf("%s|%d|%d|%s|%s|%d",
-		c.App, c.Processors, c.effectiveW0(), c.contentionOrBase(), c.Variant, c.Seed)
+	return fmt.Sprintf("%s|%d|%d|%s|%s|%d|banks=%d",
+		c.App, c.Processors, c.effectiveW0(), c.contentionOrBase(), c.Variant, c.Seed, c.Banks)
 }
 
 // Checkpoint is a JSONL result sink attached to a Session. It is safe for

@@ -9,9 +9,12 @@ import (
 )
 
 // csvHeader is the per-configuration CSV schema. The trailing cell
-// columns (w0, contention, seed, case) make sharded and matrix campaigns
-// self-describing: a row identifies its scenario without the Options
-// that produced it.
+// columns (w0, contention, seed, case, banks) make sharded and matrix
+// campaigns self-describing: a row identifies its scenario without the
+// Options that produced it. banks is the interconnect shape (0 = the
+// single split bus, 1+ = the banked bus); the interconnect differential
+// golden compares CSVs with this one column stripped, since it differs
+// by construction between the two campaigns it runs.
 var csvHeader = []string{
 	"app", "processors", "n1_cycles", "n2_cycles", "speedup",
 	"eug", "eg", "energy_ratio", "power_ratio",
@@ -19,7 +22,7 @@ var csvHeader = []string{
 	"aborts_ungated", "aborts_gated", "validation_aborts_gated",
 	"gatings", "renewals", "ungates", "self_aborts",
 	"commits", "invalidations",
-	"w0", "contention", "seed", "case",
+	"w0", "contention", "seed", "case", "banks",
 }
 
 // WriteCSV exports the campaign's per-configuration metrics as CSV for
@@ -122,6 +125,7 @@ func (c *Campaign) writeCSV(w io.Writer, header bool) error {
 			string(cell.contentionOrBase()),
 			fmt.Sprintf("%d", cell.Seed),
 			cell.ID,
+			fmt.Sprintf("%d", cell.Banks),
 		}
 		if err := cw.Write(row); err != nil {
 			return err

@@ -43,6 +43,12 @@ type Cell struct {
 	// Contention adjusts the workload's conflict intensity; the empty
 	// string means ContentionBase (the preset as published).
 	Contention Contention
+	// Banks selects the cell's interconnect model: 0 means the single
+	// split bus, a positive power of two the banked bus with that many
+	// banks. Banks changes the machine, never the workload, so the
+	// session's trace cache ignores it (and the checkpoint key must not:
+	// see cellKey).
+	Banks int
 	// Seed drives workload generation for this cell.
 	Seed uint64
 	// Variant optionally names a machine-config deviation (see
@@ -63,6 +69,9 @@ func (c Cell) Label() string {
 	}
 	if c.Contention != "" && c.Contention != ContentionBase {
 		s += "/" + string(c.Contention)
+	}
+	if c.Banks > 0 {
+		s += fmt.Sprintf("/banks=%d", c.Banks)
 	}
 	if c.Variant != "" {
 		s += "[" + c.Variant + "]"
@@ -139,6 +148,7 @@ func (o Options) Cells() []Cell {
 				Processors: np,
 				W0:         o.W0,
 				Contention: ContentionBase,
+				Banks:      o.Banks,
 				Seed:       o.Seed,
 			}
 			if o.DeriveSeeds {

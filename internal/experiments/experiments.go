@@ -32,6 +32,13 @@ type Options struct {
 	Apps []stamp.App
 	// W0 overrides the gating window constant (default 8).
 	W0 sim.Time
+	// Banks selects the interconnect model for every cell that does not
+	// pin its own (scenario-matrix banked cases do): 0 is the paper's
+	// single split-transaction bus, a positive power of two is the
+	// address-interleaved banked bus. Banks=1 is the banked model
+	// degenerated to one bank — cycle-identical to the single bus by the
+	// differential golden.
+	Banks int
 	// Workers is the number of goroutines executing run-cells; 1 or
 	// fewer means sequential. Results are merged in canonical cell
 	// order, so every worker count produces byte-identical output.
@@ -281,6 +288,7 @@ func fig7Cells(o Options) []Cell {
 					Processors: np,
 					W0:         w0,
 					Contention: ContentionBase,
+					Banks:      o.Banks,
 					Seed:       o.Seed,
 				})
 			}

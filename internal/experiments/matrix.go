@@ -21,8 +21,9 @@ import (
 // Case IDs are append-only. The original 432-case grid (processor axis
 // 1–32) keeps IDs M00001–M00432 forever; the 48–128-processor scale
 // extension is enumerated as a separate block appended after it
-// (M00433–M00720), so existing checkpoints, CSVs and docs keep meaning
-// the same cases.
+// (M00433–M00720); the banked-interconnect block rides behind that
+// (M00721–M00752). Existing checkpoints, CSVs and docs keep meaning the
+// same cases.
 
 // Contention adjusts a workload preset's conflict intensity around the
 // published STAMP characteristics.
@@ -75,6 +76,12 @@ var (
 	MatrixExtensionProcessors = []int{48, 64, 96, 128}
 	// MatrixW0Values brackets the paper's default gating window of 8.
 	MatrixW0Values = []sim.Time{2, 8, 32}
+	// MatrixBankedProcessors is the machine-width axis of the banked-
+	// interconnect block (M00721+): the wide design points where the
+	// single split bus saturates and banking pays off.
+	MatrixBankedProcessors = []int{64, 128}
+	// MatrixBankedBanks is the block's interconnect axis.
+	MatrixBankedBanks = []int{4, 8}
 )
 
 // matrixDefaultW0 is the gating window the paper evaluates; scenarios at
@@ -100,16 +107,27 @@ type Scenario struct {
 	W0 sim.Time
 	// Contention is the workload conflict-intensity level.
 	Contention Contention
+	// Banks is the interconnect shape: 0 for the single split bus (every
+	// case outside the banked block), a power of two for the banked bus.
+	Banks int
 }
 
 // Name returns the scenario's human-readable address, e.g.
-// "genome/8p/W0=8/base".
+// "genome/8p/W0=8/base" ("/banks=N" appended in the banked block).
 func (s Scenario) Name() string {
-	return fmt.Sprintf("%s/%dp/W0=%d/%s", s.App, s.Processors, s.W0, s.Contention)
+	n := fmt.Sprintf("%s/%dp/W0=%d/%s", s.App, s.Processors, s.W0, s.Contention)
+	if s.Banks > 0 {
+		n += fmt.Sprintf("/banks=%d", s.Banks)
+	}
+	return n
 }
 
 // Title returns the case-table title.
 func (s Scenario) Title() string {
+	if s.Banks > 0 {
+		return fmt.Sprintf("%s on %d processor(s), W0=%d, %s contention, %d-banked interconnect: paired gated vs ungated run",
+			s.App, s.Processors, s.W0, s.Contention, s.Banks)
+	}
 	return fmt.Sprintf("%s on %d processor(s), W0=%d, %s contention: paired gated vs ungated run",
 		s.App, s.Processors, s.W0, s.Contention)
 }
@@ -129,6 +147,8 @@ func isPaperNp(np int) bool { return np == 4 || np == 8 || np == 16 }
 // exercises beyond the paper's evaluation grid.
 func (s Scenario) Category() string {
 	switch {
+	case s.Banks > 0:
+		return "interconnect"
 	case s.Contention != ContentionBase:
 		return "contention"
 	case s.W0 != matrixDefaultW0:
@@ -150,6 +170,9 @@ func (s Scenario) Category() string {
 func (s Scenario) CheckPoint() string {
 	const counters = "gating-counter invariants (renewals=0 without gatings, self-aborts <= ungates)"
 	switch s.Category() {
+	case "interconnect":
+		return "paired run completes on the banked interconnect; metrics finite; " + counters +
+			"; Banks=1 cycle-equivalence to the single bus pinned by the differential golden"
 	case "contention":
 		switch s.Contention {
 		case ContentionHigh:
@@ -186,6 +209,19 @@ func (s Scenario) Done() bool {
 	base := s.Contention == ContentionBase
 	defW0 := s.W0 == matrixDefaultW0
 	paper := isPaperApp(s.App)
+	if s.Banks > 0 {
+		// Banked-interconnect block: the paper apps prove out 4 banks at
+		// 64 cores, and the high-conflict app runs the widest machine on
+		// both bank counts — the configurations the scale axis exists for.
+		return (paper && s.Processors == 64 && s.Banks == 4) ||
+			(s.App == stamp.Intruder && s.Processors == 128)
+	}
+	// wide marks the appended 48–128-processor scale block, where the
+	// non-default W0/contention grid is executed for the bus-saturating
+	// apps (the interconnect work's scientific ground truth).
+	wide := s.Processors >= 48
+	wideApp := s.App == stamp.Intruder ||
+		(s.App == stamp.Genome && s.Processors <= 64)
 	switch {
 	// Every application at small machine sizes, paper defaults.
 	case base && defW0 && s.Processors <= 8:
@@ -204,6 +240,13 @@ func (s Scenario) Done() bool {
 		return true
 	// Contention sweep on every paper app at 8 cores.
 	case defW0 && s.Processors == 8 && paper:
+		return true
+	// Wide-machine W0 sweep: intruder across the whole 48–128 axis,
+	// genome through 64 cores.
+	case base && !defW0 && wide && wideApp:
+		return true
+	// Wide-machine contention sweep on the same grid.
+	case !base && defW0 && wide && wideApp:
 		return true
 	}
 	return false
@@ -229,6 +272,7 @@ func (s Scenario) Cell(index int, campaignSeed uint64) Cell {
 		Processors: s.Processors,
 		W0:         s.W0,
 		Contention: s.Contention,
+		Banks:      s.Banks,
 		Seed:       CellSeed(campaignSeed, s.Ord),
 	}
 }
@@ -242,8 +286,9 @@ var (
 
 func buildMatrix() {
 	// The legacy grid first (IDs M00001–M00432, stable forever), then
-	// the appended 48–128-processor scale block. Appending — never
-	// interleaving — new axis values is what keeps old IDs meaningful.
+	// the appended 48–128-processor scale block, then the banked-
+	// interconnect block. Appending — never interleaving — new axis
+	// values is what keeps old IDs meaningful.
 	for _, procs := range [][]int{MatrixProcessors, MatrixExtensionProcessors} {
 		for _, app := range stamp.AllApps() {
 			for _, np := range procs {
@@ -263,6 +308,26 @@ func buildMatrix() {
 			}
 		}
 	}
+	// Banked-interconnect block (M00721+): every app at the wide machine
+	// sizes on each bank count, paper-default gating window and base
+	// contention — the interconnect axis varies, everything else is the
+	// established scale-sweep configuration.
+	for _, app := range stamp.AllApps() {
+		for _, np := range MatrixBankedProcessors {
+			for _, banks := range MatrixBankedBanks {
+				ord := len(matrixCache)
+				matrixCache = append(matrixCache, Scenario{
+					ID:         fmt.Sprintf("M%05d", ord+1),
+					Ord:        ord,
+					App:        app,
+					Processors: np,
+					W0:         matrixDefaultW0,
+					Contention: ContentionBase,
+					Banks:      banks,
+				})
+			}
+		}
+	}
 	matrixByID = make(map[string]Scenario, len(matrixCache))
 	matrixByName = make(map[string]Scenario, len(matrixCache))
 	for _, s := range matrixCache {
@@ -274,7 +339,9 @@ func buildMatrix() {
 // Matrix returns every scenario in canonical order: the legacy 1–32
 // processor grid (applications outer, paper apps first, then processor
 // count, gating window and contention level), followed by the appended
-// 48–128 processor scale block in the same nesting.
+// 48–128 processor scale block in the same nesting, followed by the
+// banked-interconnect block (applications outer, then machine width and
+// bank count).
 func Matrix() []Scenario {
 	matrixOnce.Do(buildMatrix)
 	out := make([]Scenario, len(matrixCache))
@@ -326,6 +393,11 @@ func (s *Session) RunScenarios(ctx context.Context, scenarios []Scenario) (*Camp
 	cells := make([]Cell, len(scenarios))
 	for i, sc := range scenarios {
 		cells[i] = sc.Cell(i, o.Seed)
+		// A campaign-wide interconnect override applies to every case
+		// that does not pin its own shape (the banked block does).
+		if cells[i].Banks == 0 {
+			cells[i].Banks = o.Banks
+		}
 	}
 	cells, err := ShardCells(cells, o.Shard)
 	if err != nil {
@@ -377,14 +449,16 @@ func E2EDoc() string {
 
 This table enumerates every scenario the streaming session engine can
 run: each STAMP preset at 1-128 processors, gating windows W0 of 2/8/32
-cycles, and low/base/high workload contention. Case ids are append-only:
-the original 1-32 processor grid keeps M00001-M00432 and the
-48/64/96/128-processor scale block is appended as M00433-M00720, so
-existing checkpoints and CSVs keep naming the same cases. Every sweep —
-this matrix, the paper campaign, Fig7, multi-seed, the ablations —
-executes as run-cells on one clockgate.Session, which owns the worker
-pool, the per-workload trace cache, and the optional JSONL checkpoint
-sink behind -resume. Cases are addressable by id:
+cycles, low/base/high workload contention, and (in the banked block) the
+address-interleaved banked interconnect at 4/8 banks. Case ids are
+append-only: the original 1-32 processor grid keeps M00001-M00432, the
+48/64/96/128-processor scale block is appended as M00433-M00720, and the
+banked-interconnect block as M00721-M00752, so existing checkpoints and
+CSVs keep naming the same cases. Every sweep — this matrix, the paper
+campaign, Fig7, multi-seed, the ablations — executes as run-cells on one
+clockgate.Session, which owns the worker pool, the per-workload trace
+cache, and the optional JSONL checkpoint sink behind -resume. Cases are
+addressable by id:
 
     go run ./cmd/experiments -matrix M00042,M00049 -detail
     go run ./cmd/experiments -matrix done -detail      # every executed case

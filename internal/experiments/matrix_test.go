@@ -12,12 +12,13 @@ import (
 func TestMatrixShape(t *testing.T) {
 	m := Matrix()
 	perCombo := len(MatrixW0Values) * len(ContentionLevels())
-	want := len(stamp.AllApps()) * (len(MatrixProcessors) + len(MatrixExtensionProcessors)) * perCombo
+	want := len(stamp.AllApps())*(len(MatrixProcessors)+len(MatrixExtensionProcessors))*perCombo +
+		len(stamp.AllApps())*len(MatrixBankedProcessors)*len(MatrixBankedBanks)
 	if len(m) != want {
 		t.Fatalf("%d scenarios, want %d", len(m), want)
 	}
-	if want != 720 {
-		t.Fatalf("matrix has %d addressable cases, want 720 (432 legacy + 288 scale extension)", want)
+	if want != 752 {
+		t.Fatalf("matrix has %d addressable cases, want 752 (432 legacy + 288 scale extension + 32 banked)", want)
 	}
 	ids := map[string]bool{}
 	names := map[string]bool{}
@@ -68,6 +69,28 @@ func TestLegacyIDsStable(t *testing.T) {
 			if s.Processors == np {
 				t.Fatalf("extension processor count %d leaked into legacy block (%s)", np, s.ID)
 			}
+		}
+	}
+	// The banked block rides behind the scale extension: everything up to
+	// M00720 keeps Banks=0 (the PR-3 grid unchanged), the banked block
+	// starts at exactly M00721, and only it carries a bank count.
+	busOnly := legacy + len(stamp.AllApps())*len(MatrixExtensionProcessors)*
+		len(MatrixW0Values)*len(ContentionLevels())
+	for _, s := range Matrix()[:busOnly] {
+		if s.Banks != 0 {
+			t.Fatalf("bank count %d leaked into pre-banked block (%s)", s.Banks, s.ID)
+		}
+	}
+	banked, ok := ScenarioByID("M00721")
+	if !ok || banked.Banks == 0 || banked.Ord != busOnly {
+		t.Errorf("banked block should start at M00721 (ord %d), got %+v", busOnly, banked)
+	}
+	if s, ok := ScenarioByID("M00720"); !ok || s.Banks != 0 || s.Name() != "vacation/128p/W0=32/high" {
+		t.Errorf("M00720 = %q, want vacation/128p/W0=32/high with Banks=0", s.Name())
+	}
+	for _, s := range Matrix()[busOnly:] {
+		if s.Banks == 0 {
+			t.Errorf("banked-block case %s has no bank count", s.ID)
 		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"iter"
 	"sync"
 
+	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/stamp"
 	"repro/internal/workload"
@@ -104,9 +105,9 @@ func (o Options) Fingerprint() string {
 		w0 = matrixDefaultW0
 	}
 	h := sha256.New()
-	fmt.Fprintf(h, "seed=%d scale=%g w0=%d derive=%t shard=%d/%d apps=%v procs=%v",
+	fmt.Fprintf(h, "seed=%d scale=%g w0=%d derive=%t shard=%d/%d apps=%v procs=%v banks=%d",
 		o.Seed, scale, w0, o.DeriveSeeds, o.Shard.Index, o.Shard.Count,
-		o.apps(), o.processors())
+		o.apps(), o.processors(), o.Banks)
 	return hex.EncodeToString(h.Sum(nil))[:16]
 }
 
@@ -283,12 +284,22 @@ func (s *Session) runCell(ctx context.Context, pos int, c Cell) CellResult {
 }
 
 // cellSpec builds the core.RunSpec for one cell: the trace from the
-// session cache and the machine-config mutation from the cell's variant.
+// session cache and the machine-config mutation from the cell's
+// interconnect shape and variant.
 func (s *Session) cellSpec(c Cell) (core.RunSpec, error) {
 	rs := core.RunSpec{App: c.App, Processors: c.Processors, Seed: c.Seed, W0: c.W0}
 	configure, err := variantConfigure(c.Variant)
 	if err != nil {
 		return core.RunSpec{}, err
+	}
+	if banks := c.Banks; banks > 0 {
+		variant := configure
+		configure = func(cfg *config.Config) {
+			cfg.Machine.Banks = banks
+			if variant != nil {
+				variant(cfg)
+			}
+		}
 	}
 	rs.Configure = configure
 	tr, err := s.trace(c)
@@ -299,10 +310,14 @@ func (s *Session) cellSpec(c Cell) (core.RunSpec, error) {
 	return rs, nil
 }
 
-// traceKey identifies a generated trace. W0 and the variant are absent on
-// purpose: they change the machine, never the workload, which is what
-// lets Fig7's W0 sweep and the ablation suite share one trace per
-// (app, threads, seed) point.
+// traceKey identifies a generated trace. W0, the interconnect shape
+// (Cell.Banks) and the variant are absent on purpose: they change the
+// machine, never the workload, which is what lets Fig7's W0 sweep, the
+// ablation suite and the interconnect differential goldens share one
+// trace per (app, threads, seed) point. Processor count IS in the key
+// (threads): two cells at different machine widths generate different
+// workloads even when every other axis matches. Pinned by
+// TestTraceCacheKeyAudit.
 type traceKey struct {
 	app        stamp.App
 	threads    int

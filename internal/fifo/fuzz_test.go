@@ -1,0 +1,69 @@
+package fifo
+
+import (
+	"testing"
+)
+
+// FuzzFIFO differentially tests the ring-buffer queue against a plain
+// slice model. The fuzz input is an op stream: each byte's low two bits
+// select push/pop/front/len, and pushes use the byte itself as the value,
+// so growth, wrap-around and the empty-queue edges are all exercised by
+// short inputs.
+func FuzzFIFO(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 2, 3, 0, 1, 1})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		var q Queue[int]
+		var model []int
+		for i, op := range ops {
+			switch op & 3 {
+			case 0: // push
+				q.Push(int(op))
+				model = append(model, int(op))
+			case 1: // pop
+				if len(model) == 0 {
+					mustPanic(t, "Pop", func() { q.Pop() })
+					continue
+				}
+				want := model[0]
+				model = model[1:]
+				if got := q.Pop(); got != want {
+					t.Fatalf("op %d: Pop = %d, model says %d", i, got, want)
+				}
+			case 2: // front
+				if len(model) == 0 {
+					mustPanic(t, "Front", func() { q.Front() })
+					continue
+				}
+				if got := q.Front(); got != model[0] {
+					t.Fatalf("op %d: Front = %d, model says %d", i, got, model[0])
+				}
+			case 3: // len
+				if q.Len() != len(model) {
+					t.Fatalf("op %d: Len = %d, model says %d", i, q.Len(), len(model))
+				}
+			}
+		}
+		// Drain and compare the tail: contents must match element for
+		// element after any op sequence.
+		if q.Len() != len(model) {
+			t.Fatalf("final Len = %d, model says %d", q.Len(), len(model))
+		}
+		for i, want := range model {
+			if got := q.Pop(); got != want {
+				t.Fatalf("drain %d: Pop = %d, model says %d", i, got, want)
+			}
+		}
+	})
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s on empty queue did not panic", name)
+		}
+	}()
+	f()
+}

@@ -320,7 +320,7 @@ func (p *Processor) announceIntent(l mem.LineAddr) {
 	p.announcedDirs[home] = true
 	gen := p.gen
 	dir := p.sys.dirs[home]
-	p.sys.bus.Send(func() {
+	p.sys.bus.Send(p.sys.lineBank(l), func() {
 		if p.gen != gen {
 			return
 		}
@@ -345,7 +345,7 @@ func (p *Processor) issueMiss(l mem.LineAddr, read, resident bool) {
 	gen := p.gen
 	home := p.sys.geom.HomeDir(l)
 	dir := p.sys.dirs[home]
-	p.sys.bus.Send(func() {
+	p.sys.bus.Send(p.sys.lineBank(l), func() {
 		dir.HandleRead(p.id, l, func(version uint64) {
 			// The fill lands in the cache whatever the fate of the
 			// transaction that requested it.
@@ -378,14 +378,20 @@ func (p *Processor) reachCommitPoint() {
 	}
 	p.setState(stateWaitTID)
 	gen := p.gen
-	p.sys.bus.Send(func() {
+	// Token traffic is pinned to bank 0 on every interconnect shape: the
+	// vendor is one global component, and keeping its round trips on one
+	// FIFO preserves the invariant enterCommitQueue depends on — TID
+	// replies deliver in acquisition order. Interleaving them by requester
+	// would let a younger committer's reply overtake an older one's on a
+	// less loaded bank.
+	p.sys.bus.Send(0, func() {
 		p.sys.eng.ScheduleAfter(p.sys.cfg.Machine.TokenCycles, func() {
 			// The vendor allocates the TID at its service instant even
 			// if the requester dies before the reply lands; the release
 			// below keeps the vendor's books straight in that case.
 			tid := p.sys.vendor.Acquire(p.id)
 			p.sys.counters.TokenRequests++
-			p.sys.bus.Send(func() {
+			p.sys.bus.Send(0, func() {
 				if p.gen != gen {
 					p.sys.vendor.Release(tid)
 					return
@@ -501,7 +507,7 @@ func (p *Processor) grant() {
 		dir := p.sys.dirs[di]
 		group := lines[lo:hi]
 		lo = hi
-		p.sys.bus.Send(func() {
+		p.sys.bus.Send(p.sys.idBank(di), func() {
 			dir.BeginCommit(p.id, group, func() {
 				p.commitsLeft--
 				if p.commitsLeft == 0 {

@@ -22,7 +22,8 @@ import (
 type System struct {
 	cfg    config.Config
 	eng    *sim.Engine
-	bus    *bus.Bus
+	bus    bus.Interconnect
+	nbanks int // effective interconnect bank count (>= 1)
 	geom   *mem.Geometry
 	vendor *tokens.Vendor
 	dirs   []*directory.Directory
@@ -86,7 +87,8 @@ func NewSystem(cfg config.Config, trace *workload.Trace) (*System, error) {
 		ledger: stats.NewLedger(cfg.Machine.Processors),
 	}
 	s.traceName = trace.Name
-	s.bus = bus.New(s.eng, cfg.Machine.BusCycles)
+	s.bus = bus.NewInterconnect(s.eng, cfg.Machine.BusCycles, cfg.Machine.Banks)
+	s.nbanks = s.bus.Banks()
 	s.tryGrantFn = func() {
 		s.tryGrantQueued = false
 		s.tryGrant()
@@ -122,7 +124,20 @@ func (s *System) Processors() []*Processor { return s.procs }
 func (s *System) Directories() []*directory.Directory { return s.dirs }
 
 // Bus exposes the interconnect (for tests and stats).
-func (s *System) Bus() *bus.Bus { return s.bus }
+func (s *System) Bus() bus.Interconnect { return s.bus }
+
+// lineBank returns the interconnect bank a line's traffic rides: lines
+// interleave across banks by line address.
+func (s *System) lineBank(l mem.LineAddr) int {
+	return bus.BankOf(uint64(l), s.nbanks)
+}
+
+// idBank returns the bank for control traffic with no line address (token
+// round trips, gating commands): such messages interleave by the
+// originating component's id, keeping them deterministic and spread.
+func (s *System) idBank(id int) int {
+	return bus.BankOf(uint64(id), s.nbanks)
+}
 
 // Vendor exposes the token vendor (for tests).
 func (s *System) Vendor() *tokens.Vendor { return s.vendor }
