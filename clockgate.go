@@ -65,6 +65,30 @@
 // Session.MultiSeed, Session.Ablations — so they share the pool, the
 // trace cache and the checkpoint machinery.
 //
+// # Distributed campaigns
+//
+// Serve and Work scale a session past one machine: a coordinator owns
+// the campaign's canonical cell list and leases batches of cells over
+// HTTP+JSON to any number of workers, each running the cells on a local
+// Session. Results merge by canonical cell position, so the final
+// campaign is byte-identical to a single-process Session.Run — with
+// worker crashes healed by lease deadlines and duplicate returns
+// discarded per cell (first result wins):
+//
+//	// coordinator (one process)
+//	campaign, err := clockgate.Serve(ctx, ":7400", opts, clockgate.ServeConfig{})
+//
+//	// workers (any number of processes, any machines)
+//	stats, err := clockgate.Work(ctx, "coordinator:7400", clockgate.WorkerConfig{})
+//
+// The coordinator journals completed cells in the -resume checkpoint
+// format (ServeConfig.CheckpointPath), so an interrupted fleet job
+// restarts at the first incomplete cell — or finishes locally with
+// `cmd/experiments -resume`. The CLI exposes both roles as
+// `experiments -serve addr` and `experiments -worker addr`;
+// docs/DISTRIBUTED.md specifies the protocol (lease state machine,
+// dedup-on-re-lease rule, merge ordering).
+//
 // # Legacy entry points
 //
 // The original one-shot helpers remain as thin adapters, each running a
@@ -103,10 +127,13 @@
 package clockgate
 
 import (
+	"context"
 	"fmt"
+	"net"
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/experiments"
 	"repro/internal/power"
 	"repro/internal/sim"
@@ -414,6 +441,55 @@ func ScenarioByName(name string) (Scenario, bool) { return experiments.ScenarioB
 // identically whether run alone, in a subset, or in a shard.
 func RunScenarios(o CampaignOptions, scenarios []Scenario) (*Campaign, error) {
 	return experiments.RunScenarios(o, scenarios)
+}
+
+// ServeConfig tunes a distributed campaign coordinator: lease TTL and
+// batch size, worker poll interval, the post-completion drain grace, an
+// optional JSONL journal path (the -resume checkpoint format), and an
+// OnListen hook reporting the bound address.
+type ServeConfig = dist.Config
+
+// WorkerConfig tunes a distributed campaign worker: its name, the local
+// session pool width, the lease batch size and the HTTP client.
+type WorkerConfig = dist.WorkerOptions
+
+// WorkerStats summarizes one worker's participation in a distributed
+// campaign.
+type WorkerStats = dist.WorkerStats
+
+// Serve turns the campaign into a fleet job: it listens on addr, owns
+// the campaign's canonical cell list (the options' grid, restricted to
+// the options' shard), leases batches of cells to any number of Work
+// processes, and merges returned results into canonical order. It
+// blocks until every cell is accounted for (or ctx is canceled) and
+// returns the merged campaign — byte-identical to NewSession(opts).Run,
+// including when workers die mid-lease (their cells are re-leased after
+// ServeConfig.LeaseTTL) or return a cell twice (first result wins).
+// With ServeConfig.CheckpointPath set, every merged cell is journaled in
+// the -resume checkpoint format, so an interrupted coordinator restarts
+// where it left off. docs/DISTRIBUTED.md specifies the protocol.
+func Serve(ctx context.Context, addr string, opts CampaignOptions, cfg ServeConfig) (*Campaign, error) {
+	cells, err := experiments.ShardCells(opts.Cells(), opts.Shard)
+	if err != nil {
+		return nil, err
+	}
+	c, err := dist.NewCoordinator(opts, cells, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("clockgate: serve: %w", err)
+	}
+	return c.Serve(ctx, ln)
+}
+
+// Work joins the coordinator at addr ("host:port" or an http:// URL)
+// and executes leased cells on a local session until the campaign is
+// done or ctx is canceled. The cells compute on the same engine a local
+// campaign uses — worker pool, trace cache, identical bytes.
+func Work(ctx context.Context, addr string, o WorkerConfig) (WorkerStats, error) {
+	return dist.Work(ctx, addr, o)
 }
 
 // RunSingleWithEvents executes one configuration with a protocol event

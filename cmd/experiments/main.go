@@ -16,10 +16,18 @@
 //	experiments -summary -resume ckpt.jsonl          # checkpoint every cell;
 //	    # Ctrl-C, then re-run the same command: it restarts at the first
 //	    # incomplete cell and the final output is byte-identical
+//	experiments -serve :7400 -summary -csv out.csv   # distributed: lease the
+//	    # campaign's cells to workers, merge byte-identically
+//	experiments -worker host:7400                    # join a coordinator and
+//	    # run leased cells on a local session
+//	experiments -serve :7400 -matrix done -resume j.jsonl  # distribute the
+//	    # done-set; the journal doubles as a -resume checkpoint
 //
 // Every sweep runs on one clockgate session (worker pool + trace cache +
 // optional checkpoint sink); SIGINT/SIGTERM cancel the session's context,
-// which stops the simulators mid-run.
+// which stops the simulators mid-run. In -serve mode the cells execute on
+// remote workers instead (docs/DISTRIBUTED.md specifies the protocol);
+// output is byte-identical either way.
 package main
 
 import (
@@ -27,6 +35,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"runtime"
@@ -35,6 +44,7 @@ import (
 	"syscall"
 
 	"repro/internal/config"
+	"repro/internal/dist"
 	"repro/internal/experiments"
 )
 
@@ -64,6 +74,8 @@ func main() {
 		matrixList = flag.Bool("matrix-list", false, "list every scenario-matrix case")
 		e2eDoc     = flag.Bool("e2e-doc", false, "print the generated docs/E2E.md")
 		resume     = flag.String("resume", "", "JSONL checkpoint file: completed cells are appended as they finish and an interrupted run restarts at the first incomplete cell")
+		serve      = flag.String("serve", "", "coordinate a distributed campaign on this listen address (e.g. \":7400\"): cells are leased to -worker processes and merged byte-identically to a local run; with -resume the file doubles as the coordinator journal")
+		worker     = flag.String("worker", "", "join the coordinator at this address (host:port) and execute leased cells on a local session with -workers goroutines")
 	)
 	flag.Parse()
 
@@ -73,7 +85,7 @@ func main() {
 	}
 	if !(*table1 || *table2 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 ||
 		*summary || *detail || *ablation || *extended || *seeds > 0 || *csvPath != "" ||
-		*matrix != "" || *matrixList || *e2eDoc) {
+		*matrix != "" || *matrixList || *e2eDoc || *serve != "" || *worker != "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -84,6 +96,22 @@ func main() {
 	}
 	if *matrixList {
 		fmt.Println(experiments.MatrixTable())
+		return
+	}
+
+	if *worker != "" {
+		// Worker mode: no local campaign at all — join the coordinator
+		// and execute leased cells until it reports the campaign done.
+		if *serve != "" {
+			fatal(fmt.Errorf("-worker and -serve are mutually exclusive (one process, one role)"))
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		st, err := dist.Work(ctx, *worker, dist.WorkerOptions{Workers: *workers})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("worker done: %d cells over %d leases\n", st.Cells, st.Leases)
 		return
 	}
 
@@ -118,7 +146,9 @@ func main() {
 	defer stop()
 	session := experiments.NewSession(opts)
 	defer session.Close()
-	if *resume != "" {
+	if *resume != "" && *serve == "" {
+		// In -serve mode the coordinator owns the journal instead; two
+		// writers on one checkpoint file would corrupt it.
 		if err := session.SetCheckpoint(*resume); err != nil {
 			fatal(err)
 		}
@@ -147,6 +177,59 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *csvPath)
+	}
+
+	if *serve != "" {
+		// Coordinator mode: the campaign's cells execute on -worker
+		// processes instead of the local session; the merged output is
+		// byte-identical to a local run of the same flags.
+		if *table1 || *table2 || *fig3 || *fig7 || *ablation || *extended || *seeds > 0 {
+			fatal(fmt.Errorf("-serve combines only with -matrix/-detail/-summary/-csv/-shard/-seed/-scale/-procs/-banks/-resume; run figures and tables locally"))
+		}
+		var cells []experiments.Cell
+		if *matrix != "" {
+			scenarios, err := selectScenarios(*matrix)
+			if err != nil {
+				fatal(err)
+			}
+			cells = opts.ScenarioCells(scenarios)
+		} else {
+			cells = opts.Cells()
+		}
+		cells, err := experiments.ShardCells(cells, shard)
+		if err != nil {
+			fatal(err)
+		}
+		coord, err := dist.NewCoordinator(opts, cells, dist.Config{
+			CheckpointPath: *resume,
+			OnListen: func(a string) {
+				fmt.Fprintf(os.Stderr, "experiments: coordinating %d cells on %s (point workers at it with -worker)\n", len(cells), a)
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		ln, err := net.Listen("tcp", *serve)
+		if err != nil {
+			fatal(err)
+		}
+		campaign, err := coord.Serve(ctx, ln)
+		if err != nil {
+			fatalRun(err, *resume)
+		}
+		st := coord.Stats()
+		fmt.Fprintf(os.Stderr, "experiments: distributed campaign complete: %d cells (%d restored from journal, %d leases, %d expired, %d duplicate returns)\n",
+			len(cells), st.Restored, st.Leases, st.Expired, st.Duplicates)
+		if *detail {
+			fmt.Println(campaign.DetailTable())
+		}
+		if *summary {
+			fmt.Println(campaign.SummaryText())
+		}
+		if *csvPath != "" {
+			writeCSV(campaign)
+		}
+		return
 	}
 
 	if *matrix != "" {

@@ -45,6 +45,10 @@ type Interconnect interface {
 	Occupancy() sim.Time
 	// Stats returns the activity counters, aggregated over banks.
 	Stats() Stats
+	// BankStats returns a copy of each bank's private counters, indexed
+	// by bank (length Banks()). For the single bus this is one entry
+	// equal to Stats().
+	BankStats() []Stats
 	// Queued returns the number of messages awaiting arbitration or
 	// delivery across all banks.
 	Queued() int
@@ -125,6 +129,10 @@ func (b *Bus) Banks() int { return 1 }
 
 // Stats returns a copy of the activity counters.
 func (b *Bus) Stats() Stats { return b.stats }
+
+// BankStats implements Interconnect: the single bus is one bank, so the
+// per-bank breakdown is the aggregate.
+func (b *Bus) BankStats() []Stats { return []Stats{b.stats} }
 
 // Queued returns the number of messages awaiting arbitration or delivery.
 func (b *Bus) Queued() int { return b.reqs.Len() + b.dels.Len() }

@@ -165,7 +165,43 @@ type Directory struct {
 	// rec, when non-nil, receives structured protocol events.
 	rec *trace.Recorder
 
+	// replyFree pools the read-reply bus crossings, so the miss hot
+	// path sends data back without allocating a closure per read (the
+	// requester side pools its halves of the round trip the same way —
+	// see tcc's missOp).
+	replyFree []*replyOp
+
 	stats Stats
+}
+
+// replyOp is one pooled read-reply delivery: the reply callback and the
+// line version it carries across the bus.
+type replyOp struct {
+	d     *Directory
+	reply func(version uint64)
+	v     uint64
+	fn    func()
+}
+
+func (d *Directory) getReply() *replyOp {
+	if n := len(d.replyFree); n > 0 {
+		r := d.replyFree[n-1]
+		d.replyFree = d.replyFree[:n-1]
+		return r
+	}
+	r := &replyOp{d: d}
+	r.fn = func() { r.d.replyDelivered(r) }
+	return r
+}
+
+// replyDelivered lands a pooled reply at its requester. The op returns
+// to the pool first: the reply may trigger the processor's next miss on
+// this directory, which is then free to reuse it.
+func (d *Directory) replyDelivered(r *replyOp) {
+	reply, v := r.reply, r.v
+	r.reply = nil
+	d.replyFree = append(d.replyFree, r)
+	reply(v)
 }
 
 // New builds directory id. Attach must be called before traffic arrives.
@@ -304,12 +340,12 @@ func (d *Directory) serviceRead() {
 	}
 	ls := d.line(r.line)
 	ls.sharers.Add(r.proc)
-	v := ls.version
-	reply := r.reply
 	// The reply carries the line's data, so it rides the line's bank —
 	// the same FIFO later invalidations of the line use, which preserves
 	// per-line reply/invalidation ordering on every interconnect shape.
-	d.bus.Send(bus.BankOf(uint64(r.line), d.banks), func() { reply(v) })
+	op := d.getReply()
+	op.reply, op.v = r.reply, ls.version
+	d.bus.Send(bus.BankOf(uint64(r.line), d.banks), op.fn)
 }
 
 // noteProcessorAlive implements the paper's local-knowledge reconciliation:

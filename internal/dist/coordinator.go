@@ -1,0 +1,439 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+// Config tunes a coordinator. The zero value selects production-ish
+// defaults; tests shrink the timings.
+type Config struct {
+	// LeaseTTL is how long a worker owns a leased batch before the
+	// coordinator may hand its unfinished cells to someone else.
+	// Default 2 minutes.
+	LeaseTTL time.Duration
+	// LeaseBatch caps the cells granted per lease. Default 8; a
+	// worker's request may ask for fewer.
+	LeaseBatch int
+	// RetryDelay is the poll interval suggested to workers when no work
+	// is pending (all cells leased or done). Default 200ms.
+	RetryDelay time.Duration
+	// DrainGrace is how long the coordinator keeps answering "done"
+	// after the campaign completes, so polling workers observe the end
+	// instead of a vanished server. Default 1s.
+	DrainGrace time.Duration
+	// CheckpointPath, when set, journals every merged cell as one JSONL
+	// line — the exact checkpoint format `cmd/experiments -resume`
+	// reads and writes. Restarting a coordinator (or a single-process
+	// session) on the same file restores the completed cells without
+	// re-running them.
+	CheckpointPath string
+	// OnListen, when set, is called with the bound listen address once
+	// the coordinator is accepting connections — the hook loopback
+	// examples and ":0" listeners use to learn the actual port.
+	OnListen func(addr string)
+}
+
+func (c Config) leaseTTL() time.Duration {
+	if c.LeaseTTL > 0 {
+		return c.LeaseTTL
+	}
+	return 2 * time.Minute
+}
+
+func (c Config) leaseBatch() int {
+	if c.LeaseBatch > 0 {
+		return c.LeaseBatch
+	}
+	return 8
+}
+
+func (c Config) retryDelay() time.Duration {
+	if c.RetryDelay > 0 {
+		return c.RetryDelay
+	}
+	return 200 * time.Millisecond
+}
+
+func (c Config) drainGrace() time.Duration {
+	if c.DrainGrace > 0 {
+		return c.DrainGrace
+	}
+	return time.Second
+}
+
+// Stats counts coordinator activity.
+type Stats struct {
+	// Leases is the number of non-empty lease grants.
+	Leases int
+	// Expired counts leases reclaimed after their deadline passed with
+	// cells unfinished.
+	Expired int
+	// Returned counts cell results merged into the campaign.
+	Returned int
+	// Duplicates counts returned results discarded because the cell was
+	// already complete (the dedup-on-re-lease rule).
+	Duplicates int
+	// Restored counts cells restored from the checkpoint journal at
+	// startup instead of leased out.
+	Restored int
+}
+
+// cellPhase is the lease state machine of one cell:
+//
+//	pending --lease--> leased --return--> done
+//	   ^                  |
+//	   +---deadline past--+
+//
+// done is terminal; a done cell can never be leased again, and a second
+// return of it is discarded as a duplicate.
+type cellPhase uint8
+
+const (
+	cellPending cellPhase = iota
+	cellLeased
+	cellDone
+)
+
+// lease is one granted batch.
+type lease struct {
+	id       uint64
+	worker   string
+	cells    []int // canonical positions granted
+	deadline time.Time
+}
+
+// Coordinator owns one campaign's canonical cell list and runs its lease
+// state machine. Create with NewCoordinator, expose via Handler or
+// Serve. Safe for concurrent use by the HTTP handlers.
+type Coordinator struct {
+	cfg         Config
+	opts        experiments.Options
+	fingerprint string
+	cells       []experiments.Cell
+
+	mu        sync.Mutex
+	phase     []cellPhase
+	owner     []uint64 // active lease id per leased cell
+	outcomes  []*core.Outcome
+	errs      []error // per-cell failures, by position
+	remaining int
+	leases    map[uint64]*lease
+	nextLease uint64
+	stats     Stats
+	ckpt      *experiments.Checkpoint
+	done      chan struct{}
+	failed    bool
+}
+
+// NewCoordinator builds a coordinator for the given cells — the
+// campaign's canonical order, exactly the slice a single-process
+// Session.Run would execute. With Config.CheckpointPath set, cells
+// already journaled there are restored immediately (the journal is
+// validated against the options fingerprint, like -resume).
+func NewCoordinator(opts experiments.Options, cells []experiments.Cell, cfg Config) (*Coordinator, error) {
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("dist: no cells to coordinate")
+	}
+	c := &Coordinator{
+		cfg:         cfg,
+		opts:        opts,
+		fingerprint: opts.Fingerprint(),
+		cells:       cells,
+		phase:       make([]cellPhase, len(cells)),
+		owner:       make([]uint64, len(cells)),
+		outcomes:    make([]*core.Outcome, len(cells)),
+		errs:        make([]error, len(cells)),
+		remaining:   len(cells),
+		leases:      make(map[uint64]*lease),
+		done:        make(chan struct{}),
+	}
+	if cfg.CheckpointPath != "" {
+		ck, err := experiments.OpenCheckpoint(cfg.CheckpointPath, c.fingerprint)
+		if err != nil {
+			return nil, err
+		}
+		c.ckpt = ck
+		for i, cell := range cells {
+			if out, ok := ck.Lookup(cell); ok {
+				c.outcomes[i] = out
+				c.phase[i] = cellDone
+				c.remaining--
+				c.stats.Restored++
+			}
+		}
+		if c.remaining == 0 {
+			close(c.done)
+		}
+	}
+	return c, nil
+}
+
+// Stats returns a snapshot of the activity counters.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Handler returns the coordinator's HTTP protocol surface.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/campaign", c.handleCampaign)
+	mux.HandleFunc("POST /v1/lease", c.handleLease)
+	mux.HandleFunc("POST /v1/return", c.handleReturn)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (c *Coordinator) handleCampaign(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, CampaignInfo{
+		Protocol:    ProtocolVersion,
+		Fingerprint: c.fingerprint,
+		Options:     c.opts,
+		Cells:       len(c.cells),
+	})
+}
+
+// reclaimExpired returns every cell of every deadline-passed lease to
+// the pending pool. Called with mu held, lazily from the lease path: a
+// dead worker's cells become grantable the first time a live worker asks
+// for work after the deadline.
+func (c *Coordinator) reclaimExpired(now time.Time) {
+	for id, l := range c.leases {
+		if now.Before(l.deadline) {
+			continue
+		}
+		expired := false
+		for _, pos := range l.cells {
+			if c.phase[pos] == cellLeased && c.owner[pos] == id {
+				c.phase[pos] = cellPending
+				c.owner[pos] = 0
+				expired = true
+			}
+		}
+		delete(c.leases, id)
+		if expired {
+			c.stats.Expired++
+		}
+	}
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad lease request: %v", err), http.StatusBadRequest)
+		return
+	}
+	max := req.Max
+	if max <= 0 || max > c.cfg.leaseBatch() {
+		max = c.cfg.leaseBatch()
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failed {
+		writeJSON(w, LeaseResponse{Done: true, Err: c.firstErrLocked().Error()})
+		return
+	}
+	if c.remaining == 0 {
+		writeJSON(w, LeaseResponse{Done: true})
+		return
+	}
+	now := time.Now()
+	c.reclaimExpired(now)
+
+	var granted []LeasedCell
+	var positions []int
+	for pos := range c.cells {
+		if len(granted) >= max {
+			break
+		}
+		if c.phase[pos] != cellPending {
+			continue
+		}
+		granted = append(granted, LeasedCell{Pos: pos, Cell: c.cells[pos]})
+		positions = append(positions, pos)
+	}
+	if len(granted) == 0 {
+		// Everything is leased out or done: poll again later (an
+		// expiry may free work before the campaign completes).
+		writeJSON(w, LeaseResponse{RetryMS: c.cfg.retryDelay().Milliseconds()})
+		return
+	}
+	c.nextLease++
+	l := &lease{
+		id:       c.nextLease,
+		worker:   req.Worker,
+		cells:    positions,
+		deadline: now.Add(c.cfg.leaseTTL()),
+	}
+	c.leases[l.id] = l
+	for _, pos := range positions {
+		c.phase[pos] = cellLeased
+		c.owner[pos] = l.id
+	}
+	c.stats.Leases++
+	writeJSON(w, LeaseResponse{
+		LeaseID:    l.id,
+		Cells:      granted,
+		DeadlineMS: c.cfg.leaseTTL().Milliseconds(),
+	})
+}
+
+func (c *Coordinator) handleReturn(w http.ResponseWriter, r *http.Request) {
+	var req ReturnRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad return request: %v", err), http.StatusBadRequest)
+		return
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var resp ReturnResponse
+	for _, res := range req.Results {
+		if res.Pos < 0 || res.Pos >= len(c.cells) {
+			http.Error(w, fmt.Sprintf("result position %d out of range [0,%d)", res.Pos, len(c.cells)), http.StatusBadRequest)
+			return
+		}
+		if res.Err == "" && res.Record.Cell.Key() != c.cells[res.Pos].Key() {
+			// A record that does not compute the campaign's cell at
+			// this position can never be merged — reject the whole
+			// return so the bug is loud.
+			http.Error(w, fmt.Sprintf("result for position %d is cell %q, campaign expects %q",
+				res.Pos, res.Record.Cell.Key(), c.cells[res.Pos].Key()), http.StatusConflict)
+			return
+		}
+		if c.phase[res.Pos] == cellDone {
+			// Dedup-on-re-lease: the cell was already completed (by an
+			// earlier return, possibly after this worker's lease
+			// expired and the cell re-ran elsewhere). Cells are
+			// deterministic, so discarding the late copy cannot change
+			// the merged output.
+			resp.Duplicates++
+			c.stats.Duplicates++
+			continue
+		}
+		if res.Err != "" {
+			c.errs[res.Pos] = fmt.Errorf("dist: cell %d (%s): %s", c.cells[res.Pos].Index, c.cells[res.Pos].Label(), res.Err)
+			c.failed = true
+		} else {
+			out := res.Record.Outcome()
+			c.outcomes[res.Pos] = out
+			if c.ckpt != nil {
+				if err := c.ckpt.Record(c.cells[res.Pos], out); err != nil {
+					c.errs[res.Pos] = fmt.Errorf("dist: journal: %w", err)
+					c.failed = true
+				}
+			}
+		}
+		c.phase[res.Pos] = cellDone
+		c.owner[res.Pos] = 0
+		c.remaining--
+		c.stats.Returned++
+		resp.Accepted++
+	}
+	// A fully-returned lease has nothing left to reclaim: drop it now
+	// instead of letting it linger until the TTL sweep.
+	if l, ok := c.leases[req.LeaseID]; ok {
+		settled := true
+		for _, pos := range l.cells {
+			if c.phase[pos] != cellDone {
+				settled = false
+				break
+			}
+		}
+		if settled {
+			delete(c.leases, req.LeaseID)
+		}
+	}
+	// The campaign ends when every cell is accounted for — or as soon as
+	// any cell fails: cells are deterministic, so a failed cell would
+	// fail on every worker, and waiting for the rest would leave Serve
+	// blocked forever once leases stop being granted.
+	if c.remaining == 0 || c.failed {
+		select {
+		case <-c.done:
+		default:
+			close(c.done)
+		}
+		resp.Done = true
+	}
+	writeJSON(w, resp)
+}
+
+// firstErrLocked returns the lowest-position cell failure, mirroring the
+// deterministic error reporting of Session.RunCells. Called with mu
+// held; nil when no cell failed.
+func (c *Coordinator) firstErrLocked() error {
+	for _, err := range c.errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Campaign assembles the merged campaign in canonical cell order. It is
+// valid once every cell is accounted for (Serve returns it); calling it
+// earlier returns an error.
+func (c *Coordinator) Campaign() (*experiments.Campaign, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.firstErrLocked(); err != nil {
+		return nil, err
+	}
+	if c.remaining != 0 {
+		return nil, fmt.Errorf("dist: campaign incomplete: %d of %d cells outstanding", c.remaining, len(c.cells))
+	}
+	return &experiments.Campaign{Options: c.opts, Cells: c.cells, Outcomes: c.outcomes}, nil
+}
+
+// Serve runs the coordinator on the listener until the campaign
+// completes or ctx is canceled, then returns the merged campaign. After
+// completion the server keeps answering "done" for Config.DrainGrace so
+// polling workers observe the end of the campaign before the socket
+// closes. The listener is closed on return; the checkpoint journal, if
+// any, is closed too.
+func (c *Coordinator) Serve(ctx context.Context, ln net.Listener) (*experiments.Campaign, error) {
+	srv := &http.Server{Handler: c.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			errCh <- err
+		}
+	}()
+	defer srv.Close()
+	if c.ckpt != nil {
+		defer c.ckpt.Close()
+	}
+	if c.cfg.OnListen != nil {
+		c.cfg.OnListen(ln.Addr().String())
+	}
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case err := <-errCh:
+		return nil, fmt.Errorf("dist: coordinator server: %w", err)
+	case <-c.done:
+	}
+	// Drain: let polling workers see Done before the server goes away.
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-time.After(c.cfg.drainGrace()):
+	}
+	return c.Campaign()
+}

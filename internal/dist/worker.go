@@ -1,0 +1,227 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// WorkerOptions tunes one worker process.
+type WorkerOptions struct {
+	// Name identifies the worker in coordinator accounting and logs.
+	// Default "<hostname>-<pid>".
+	Name string
+	// Workers is the local Session pool width — how many leased cells
+	// simulate concurrently on this machine. Default GOMAXPROCS.
+	Workers int
+	// MaxBatch caps the cells requested per lease. Default 2×Workers,
+	// so the local pool stays fed while a return round-trips.
+	MaxBatch int
+	// Client is the HTTP client used to reach the coordinator. Default
+	// a client with a 30s request timeout.
+	Client *http.Client
+}
+
+func (o WorkerOptions) name() string {
+	if o.Name != "" {
+		return o.Name
+	}
+	host, err := os.Hostname()
+	if err != nil {
+		host = "worker"
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}
+
+func (o WorkerOptions) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o WorkerOptions) maxBatch() int {
+	if o.MaxBatch > 0 {
+		return o.MaxBatch
+	}
+	return 2 * o.workers()
+}
+
+func (o WorkerOptions) client() *http.Client {
+	if o.Client != nil {
+		return o.Client
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// WorkerStats summarizes one worker's participation in a campaign.
+type WorkerStats struct {
+	// Cells is how many cells this worker completed and returned.
+	Cells int
+	// Failed is how many of those cells ended in a simulation error
+	// (reported to the coordinator, which fails the campaign).
+	Failed int
+	// Leases is how many non-empty leases the worker was granted.
+	Leases int
+}
+
+// Work joins the coordinator at baseURL ("host:port" or a full http://
+// URL) and executes leased cells until the campaign is done or ctx is
+// canceled. The worker is a thin wrapper around the experiments.Session
+// engine: one session (worker pool + trace cache) serves every lease,
+// exactly as it serves a local campaign, so a cell computes the same
+// bytes here as it would in-process.
+func Work(ctx context.Context, baseURL string, o WorkerOptions) (WorkerStats, error) {
+	var stats WorkerStats
+	base := strings.TrimSuffix(baseURL, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	client := o.client()
+
+	var info CampaignInfo
+	if err := getJSON(ctx, client, base+"/v1/campaign", &info); err != nil {
+		return stats, fmt.Errorf("dist: join %s: %w", base, err)
+	}
+	if info.Protocol != ProtocolVersion {
+		return stats, fmt.Errorf("dist: coordinator speaks protocol %d, this worker %d", info.Protocol, ProtocolVersion)
+	}
+	if got := info.Options.Fingerprint(); got != info.Fingerprint {
+		return stats, fmt.Errorf("dist: campaign fingerprint %s does not match its options (%s) — version skew?", info.Fingerprint, got)
+	}
+
+	// The session reuses the coordinator's result-relevant options
+	// (seed, scale, W0, banks, …) so every cell computes the same bytes
+	// it would in the coordinator's own process; parallelism is local.
+	sopts := info.Options
+	sopts.Workers = o.workers()
+	session := experiments.NewSession(sopts)
+	defer session.Close()
+
+	name := o.name()
+	for {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
+		var grant LeaseResponse
+		err := postJSON(ctx, client, base+"/v1/lease", LeaseRequest{Worker: name, Max: o.maxBatch()}, &grant)
+		if err != nil {
+			return stats, fmt.Errorf("dist: lease: %w", err)
+		}
+		if grant.Err != "" {
+			return stats, fmt.Errorf("dist: campaign failed: %s", grant.Err)
+		}
+		if grant.Done {
+			return stats, nil
+		}
+		if len(grant.Cells) == 0 {
+			retry := time.Duration(grant.RetryMS) * time.Millisecond
+			if retry <= 0 {
+				retry = 200 * time.Millisecond
+			}
+			select {
+			case <-ctx.Done():
+				return stats, ctx.Err()
+			case <-time.After(retry):
+			}
+			continue
+		}
+		stats.Leases++
+
+		results := runLease(ctx, session, grant.Cells)
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
+		var cellErr string
+		for _, res := range results {
+			stats.Cells++
+			if res.Err != "" {
+				stats.Failed++
+				if cellErr == "" {
+					cellErr = res.Err
+				}
+			}
+		}
+		var ack ReturnResponse
+		err = postJSON(ctx, client, base+"/v1/return",
+			ReturnRequest{LeaseID: grant.LeaseID, Worker: name, Results: results}, &ack)
+		if err != nil {
+			return stats, fmt.Errorf("dist: return: %w", err)
+		}
+		if ack.Done {
+			// Done after our own failed cell means the failure ended the
+			// campaign: exit loudly, like the workers that will observe
+			// it via the lease path.
+			if stats.Failed > 0 {
+				return stats, fmt.Errorf("dist: campaign failed: %d of this worker's cells errored (first: %s)", stats.Failed, cellErr)
+			}
+			return stats, nil
+		}
+	}
+}
+
+// runLease executes one lease's cells on the session pool and packages
+// the results for the wire. Cell failures become per-cell errors, not a
+// worker failure: the coordinator decides what a failed cell means for
+// the campaign.
+func runLease(ctx context.Context, session *experiments.Session, leased []LeasedCell) []CellReturn {
+	cells := make([]experiments.Cell, len(leased))
+	for i, lc := range leased {
+		cells[i] = lc.Cell
+	}
+	results := make([]CellReturn, 0, len(leased))
+	for res := range session.StreamChan(ctx, cells) {
+		ret := CellReturn{Pos: leased[res.Pos].Pos}
+		switch {
+		case res.Err != nil:
+			ret.Err = res.Err.Error()
+		default:
+			ret.Record = experiments.NewCellRecord(res.Cell, res.Outcome)
+		}
+		results = append(results, ret)
+	}
+	return results
+}
+
+func getJSON(ctx context.Context, client *http.Client, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	return doJSON(client, req, out)
+}
+
+func postJSON(ctx context.Context, client *http.Client, url string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return doJSON(client, req, out)
+}
+
+func doJSON(client *http.Client, req *http.Request, out any) error {
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

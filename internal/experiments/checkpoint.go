@@ -10,73 +10,27 @@ import (
 	"sync"
 
 	"repro/internal/core"
-	"repro/internal/power"
-	"repro/internal/sim"
-	"repro/internal/stats"
-	"repro/internal/tcc"
 )
 
 // The checkpoint sink persists per-cell results as JSONL so an
 // interrupted campaign restarts at the first incomplete cell. The file
 // starts with a header line pinning the campaign's options fingerprint;
-// each later line is one completed cell. Records hold the fields every
-// sweep on the session reads: the comparison, both runs' cycle/counter
-// sets, and the per-processor residency totals the energy model reduces
-// a ledger to (so re-pricing sweeps like the SRPG ablation work on
-// restored results). Integers and shortest-form floats round-trip
-// through JSON exactly, and energy is a function of the integer
-// residency totals alone, so a resumed campaign's output is
-// byte-identical to an uninterrupted one. Per-processor, cache, bus and
-// directory breakdowns are not persisted — nothing on the campaign
-// surface reads them from an outcome.
+// each later line is one completed cell, serialized as a CellRecord (see
+// wire.go — the same record the distributed fabric puts on the wire).
+// Integers and shortest-form floats round-trip through JSON exactly, so
+// a resumed campaign's output is byte-identical to an uninterrupted one.
 
-// checkpointVersion guards the on-disk format.
-const checkpointVersion = 1
+// checkpointVersion guards the on-disk format. Version 2 added the
+// interconnect counters (RunRecord.Bus/BankBus) that back the CSV's
+// bus/bank stat columns. A file written at another version is refused
+// with an error naming both versions — delete it (or keep the old
+// binary) to proceed; silently re-pricing v1 records would emit CSV
+// rows with zeroed bus columns.
+const checkpointVersion = 2
 
 type checkpointHeader struct {
 	Version  int    `json:"version"`
 	Campaign string `json:"campaign"`
-}
-
-// checkpointRun is the serializable slice of one tcc.Result the campaign
-// outputs depend on. Residency carries the ledger's whole-run per-state
-// totals: the energy model reduces a ledger to exactly these integers,
-// so a ledger restored from them re-prices (e.g. under the SRPG
-// ablation's models) bit-identically to the original.
-type checkpointRun struct {
-	Cycles    sim.Time                    `json:"cycles"`
-	Counters  stats.Counters              `json:"counters"`
-	Residency [][stats.NumStates]sim.Time `json:"residency"`
-	TraceName string                      `json:"trace_name,omitempty"`
-	Gated     bool                        `json:"gated"`
-}
-
-func toCheckpointRun(r *tcc.Result) checkpointRun {
-	return checkpointRun{
-		Cycles:    r.Cycles,
-		Counters:  r.Counters,
-		Residency: r.Ledger.ResidencyTotals(),
-		TraceName: r.TraceName,
-		Gated:     r.Gated,
-	}
-}
-
-func (cr checkpointRun) result() *tcc.Result {
-	return &tcc.Result{
-		Cycles:    cr.Cycles,
-		Counters:  cr.Counters,
-		Ledger:    stats.RestoreLedger(cr.Residency, cr.Cycles),
-		TraceName: cr.TraceName,
-		Gated:     cr.Gated,
-	}
-}
-
-// checkpointRecord is one completed cell.
-type checkpointRecord struct {
-	Cell       Cell             `json:"cell"`
-	Ungated    checkpointRun    `json:"ungated"`
-	Gated      checkpointRun    `json:"gated"`
-	Comparison power.Comparison `json:"comparison"`
 }
 
 // cellKey identifies a cell for checkpoint lookup: exactly the fields
@@ -103,7 +57,7 @@ type Checkpoint struct {
 	mu       sync.Mutex
 	f        *os.File
 	enc      *json.Encoder
-	done     map[string]checkpointRecord
+	done     map[string]CellRecord
 	restored int
 }
 
@@ -117,7 +71,7 @@ func OpenCheckpoint(path, fingerprint string) (*Checkpoint, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: open checkpoint: %w", err)
 	}
-	ck := &Checkpoint{f: f, done: make(map[string]checkpointRecord)}
+	ck := &Checkpoint{f: f, done: make(map[string]CellRecord)}
 	if err := ck.load(fingerprint); err != nil {
 		f.Close()
 		return nil, err
@@ -177,7 +131,7 @@ func (ck *Checkpoint) load(fingerprint string) error {
 			hdr.Campaign, fingerprint)
 	}
 	for _, line := range lines[1:] {
-		var rec checkpointRecord
+		var rec CellRecord
 		if err := json.Unmarshal([]byte(line), &rec); err != nil {
 			// A corrupt interior line; skip it and let the cell re-run.
 			continue
@@ -198,29 +152,14 @@ func (ck *Checkpoint) Lookup(c Cell) (*core.Outcome, bool) {
 	if !ok {
 		return nil, false
 	}
-	return &core.Outcome{
-		Spec: core.RunSpec{
-			App:        rec.Cell.App,
-			Processors: rec.Cell.Processors,
-			W0:         rec.Cell.W0,
-			Seed:       rec.Cell.Seed,
-		},
-		Ungated:    rec.Ungated.result(),
-		Gated:      rec.Gated.result(),
-		Comparison: rec.Comparison,
-	}, true
+	return rec.Outcome(), true
 }
 
 // Record appends one completed cell. Each record is a single Write to the
 // underlying file, so a kill between cells never tears more than the
 // final line.
 func (ck *Checkpoint) Record(c Cell, out *core.Outcome) error {
-	rec := checkpointRecord{
-		Cell:       c,
-		Ungated:    toCheckpointRun(out.Ungated),
-		Gated:      toCheckpointRun(out.Gated),
-		Comparison: out.Comparison,
-	}
+	rec := NewCellRecord(c, out)
 	ck.mu.Lock()
 	defer ck.mu.Unlock()
 	if err := ck.enc.Encode(rec); err != nil {

@@ -4,17 +4,26 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"strings"
 
+	"repro/internal/bus"
 	"repro/internal/sim"
+	"repro/internal/tcc"
 )
 
-// csvHeader is the per-configuration CSV schema. The trailing cell
-// columns (w0, contention, seed, case, banks) make sharded and matrix
-// campaigns self-describing: a row identifies its scenario without the
-// Options that produced it. banks is the interconnect shape (0 = the
-// single split bus, 1+ = the banked bus); the interconnect differential
-// golden compares CSVs with this one column stripped, since it differs
-// by construction between the two campaigns it runs.
+// csvHeader is the per-configuration CSV schema. The interconnect
+// columns render the gated run's bus activity: bus_util is busy-cycles
+// over elapsed wire-capacity cycles (cycles × bank count), and the
+// bank_* columns break utilization, queueing wait and grant rounds down
+// per bank (";"-joined, one value per bank; a single entry on the
+// unbanked bus) — the figure-grade data behind banked interconnect
+// studies. The trailing cell columns (w0, contention, seed, case,
+// banks) make sharded and matrix campaigns self-describing: a row
+// identifies its scenario without the Options that produced it. banks
+// is the interconnect shape (0 = the single split bus, 1+ = the banked
+// bus) and stays the last column: the interconnect differential golden
+// compares CSVs with exactly that final column stripped, since it
+// differs by construction between the two campaigns it runs.
 var csvHeader = []string{
 	"app", "processors", "n1_cycles", "n2_cycles", "speedup",
 	"eug", "eg", "energy_ratio", "power_ratio",
@@ -22,6 +31,8 @@ var csvHeader = []string{
 	"aborts_ungated", "aborts_gated", "validation_aborts_gated",
 	"gatings", "renewals", "ungates", "self_aborts",
 	"commits", "invalidations",
+	"bus_util", "bus_wait_cycles", "bus_rounds",
+	"bank_util", "bank_wait_cycles", "bank_rounds",
 	"w0", "contention", "seed", "case", "banks",
 }
 
@@ -121,6 +132,12 @@ func (c *Campaign) writeCSV(w io.Writer, header bool) error {
 			fmt.Sprintf("%d", g.SelfAborts),
 			fmt.Sprintf("%d", g.Commits),
 			fmt.Sprintf("%d", g.Invalidations),
+			busUtil(o.Gated.BusStats.BusyCycles, o.Gated.Cycles, len(o.Gated.BankStats)),
+			fmt.Sprintf("%d", o.Gated.BusStats.WaitCycles),
+			fmt.Sprintf("%d", o.Gated.BusStats.Rounds),
+			perBank(o.Gated, func(s bus.Stats) string { return busUtil(s.BusyCycles, o.Gated.Cycles, 1) }),
+			perBank(o.Gated, func(s bus.Stats) string { return fmt.Sprintf("%d", s.WaitCycles) }),
+			perBank(o.Gated, func(s bus.Stats) string { return fmt.Sprintf("%d", s.Rounds) }),
 			fmt.Sprintf("%d", cell.effectiveW0()),
 			string(cell.contentionOrBase()),
 			fmt.Sprintf("%d", cell.Seed),
@@ -133,6 +150,28 @@ func (c *Campaign) writeCSV(w io.Writer, header bool) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// busUtil renders busy-cycles over elapsed wire-capacity cycles (the
+// run's cycle count times the bank count) as a fixed-precision fraction.
+// Pure integer inputs keep the rendering identical across fresh,
+// checkpoint-restored and distributed-worker results.
+func busUtil(busy uint64, cycles sim.Time, banks int) string {
+	if cycles <= 0 || banks <= 0 {
+		return "0.0000"
+	}
+	return fmt.Sprintf("%.4f", float64(busy)/(float64(cycles)*float64(banks)))
+}
+
+// perBank renders one ";"-joined value per interconnect bank. A restored
+// outcome predating the per-bank record (impossible on the current
+// checkpoint version, but cheap to tolerate) renders the empty field.
+func perBank(r *tcc.Result, render func(bus.Stats) string) string {
+	parts := make([]string, len(r.BankStats))
+	for i, s := range r.BankStats {
+		parts[i] = render(s)
+	}
+	return strings.Join(parts, ";")
 }
 
 // effectiveW0 resolves the W0=0 sentinel to the window the run actually

@@ -235,11 +235,12 @@ func (s Scenario) Done() bool {
 	// The high-conflict app walks the whole scale axis, 48–128 included.
 	case base && defW0 && s.App == stamp.Intruder:
 		return true
-	// W0 sweep on every paper app at 8 cores.
-	case base && s.Processors == 8 && paper:
+	// W0 sweep on every paper app across the paper's machine sizes
+	// (4/8/16 cores — the grid the paper's own Figure 7 walks).
+	case base && isPaperNp(s.Processors) && paper:
 		return true
-	// Contention sweep on every paper app at 8 cores.
-	case defW0 && s.Processors == 8 && paper:
+	// Contention sweep on every paper app across the same grid.
+	case defW0 && isPaperNp(s.Processors) && paper:
 		return true
 	// Wide-machine W0 sweep: intruder across the whole 48–128 axis,
 	// genome through 64 cores.
@@ -383,6 +384,24 @@ func RunScenarios(o Options, scenarios []Scenario) (*Campaign, error) {
 	return s.RunScenarios(context.Background(), scenarios)
 }
 
+// ScenarioCells converts the scenarios into run-cells in the given
+// (canonical) order, exactly as Session.RunScenarios executes them:
+// each cell's seed derives from the campaign seed and the scenario's
+// matrix ordinal, and a campaign-wide interconnect override applies to
+// every case that does not pin its own shape (the banked block does).
+// The distributed coordinator uses this to own the same canonical cell
+// list a local matrix run would execute.
+func (o Options) ScenarioCells(scenarios []Scenario) []Cell {
+	cells := make([]Cell, len(scenarios))
+	for i, sc := range scenarios {
+		cells[i] = sc.Cell(i, o.Seed)
+		if cells[i].Banks == 0 {
+			cells[i].Banks = o.Banks
+		}
+	}
+	return cells
+}
+
 // RunScenarios executes the given scenarios as one campaign on the
 // session's worker pool (honoring the options' Workers and Shard).
 // Scenario seeds derive from the campaign seed and each scenario's matrix
@@ -390,16 +409,7 @@ func RunScenarios(o Options, scenarios []Scenario) (*Campaign, error) {
 // case id.
 func (s *Session) RunScenarios(ctx context.Context, scenarios []Scenario) (*Campaign, error) {
 	o := s.opts
-	cells := make([]Cell, len(scenarios))
-	for i, sc := range scenarios {
-		cells[i] = sc.Cell(i, o.Seed)
-		// A campaign-wide interconnect override applies to every case
-		// that does not pin its own shape (the banked block does).
-		if cells[i].Banks == 0 {
-			cells[i].Banks = o.Banks
-		}
-	}
-	cells, err := ShardCells(cells, o.Shard)
+	cells, err := ShardCells(o.ScenarioCells(scenarios), o.Shard)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,46 @@
+package tcc
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/stamp"
+)
+
+// TestHotPathAllocsBounded guards the pooled asynchronous round trips
+// (missOp, tokenOp, announceOp here; replyOp in internal/directory):
+// every miss used to allocate three closures, every token round trip
+// three more, and every store announcement one, which dominated the
+// ~0.3M allocations per campaign cell the ROADMAP tracked. With the
+// pools in place this paired run measures ~51k allocations (mostly
+// system construction and map growth); before them it measured ~95k.
+// The 70k bound keeps noise headroom while failing on any return of
+// per-round-trip closure allocation. BENCH_engine.json records the
+// trajectory (cell_32p_allocs) on every CI run.
+func TestHotPathAllocsBounded(t *testing.T) {
+	spec := stamp.MustSpec(stamp.Intruder)
+	spec.TotalTxs /= 8
+	tr, err := spec.Generate(8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() {
+		for _, gated := range []bool{false, true} {
+			cfg := config.Default(8)
+			if gated {
+				cfg = cfg.WithGating(0)
+			}
+			sys, err := NewSystem(cfg, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := sys.Run(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	const bound = 70_000
+	if avg := testing.AllocsPerRun(5, run); avg > bound {
+		t.Errorf("paired 8p run allocates %.0f times, bound %d — did a pooled round trip regress to closures?", avg, bound)
+	}
+}

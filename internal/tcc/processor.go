@@ -10,6 +10,7 @@ import (
 	"slices"
 
 	"repro/internal/cache"
+	"repro/internal/directory"
 	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -147,7 +148,103 @@ type Processor struct {
 	readDirsBuf   []int
 	dirFlag       []bool
 
+	// Free lists of pooled asynchronous round trips (miss replies,
+	// token round trips, intent announcements). Each op pre-binds its
+	// callbacks once at creation and parks here between uses, so the
+	// per-transaction hot path schedules bus traffic without allocating
+	// closures. Ops are pooled (not single pre-bound callbacks on the
+	// processor) because an aborted transaction's reply can still be in
+	// flight when the restarted transaction issues its own: each
+	// in-flight round trip needs its own captured state.
+	missFree  []*missOp
+	tokenFree []*tokenOp
+	annFree   []*announceOp
+
 	stats ProcStats
+}
+
+// missOp is one pooled miss round trip: the request crossing the bus to
+// the home directory, and the reply crossing back. The op captures the
+// state the old per-miss closures closed over; gen guards it against the
+// requesting transaction dying while the round trip is in flight.
+type missOp struct {
+	p        *Processor
+	dir      *directory.Directory
+	line     mem.LineAddr
+	gen      uint64
+	read     bool
+	resident bool
+	sendFn   func()
+	replyFn  func(version uint64)
+}
+
+// getMiss takes a miss op off the free list, or builds one (binding its
+// two callbacks exactly once).
+func (p *Processor) getMiss() *missOp {
+	if n := len(p.missFree); n > 0 {
+		m := p.missFree[n-1]
+		p.missFree = p.missFree[:n-1]
+		return m
+	}
+	m := &missOp{p: p}
+	m.sendFn = func() { m.dir.HandleRead(m.p.id, m.line, m.replyFn) }
+	m.replyFn = func(version uint64) { m.p.missReply(m, version) }
+	return m
+}
+
+// tokenOp is one pooled TID round trip: request to the vendor, the
+// vendor's service delay, and the reply carrying the TID back. The
+// directory reply always eventually fires, so every op returns to the
+// pool exactly once (or is abandoned with the engine at end of run).
+type tokenOp struct {
+	p         *Processor
+	gen       uint64
+	tid       tokens.TID
+	requestFn func() // bus delivery: request arrives at the vendor
+	serviceFn func() // after TokenCycles: acquire the TID, send reply
+	replyFn   func() // bus delivery: reply lands at the processor
+}
+
+func (p *Processor) getToken() *tokenOp {
+	if n := len(p.tokenFree); n > 0 {
+		t := p.tokenFree[n-1]
+		p.tokenFree = p.tokenFree[:n-1]
+		return t
+	}
+	t := &tokenOp{p: p}
+	t.requestFn = func() {
+		t.p.sys.eng.ScheduleAfter(t.p.sys.cfg.Machine.TokenCycles, t.serviceFn)
+	}
+	t.serviceFn = func() {
+		// The vendor allocates the TID at its service instant even if
+		// the requester dies before the reply lands; tokenReply keeps
+		// the vendor's books straight in that case.
+		t.tid = t.p.sys.vendor.Acquire(t.p.id)
+		t.p.sys.counters.TokenRequests++
+		t.p.sys.bus.Send(0, t.replyFn)
+	}
+	t.replyFn = func() { t.p.tokenReply(t) }
+	return t
+}
+
+// announceOp is one pooled eager store-address announcement crossing the
+// bus to a home directory.
+type announceOp struct {
+	p   *Processor
+	dir *directory.Directory
+	gen uint64
+	fn  func()
+}
+
+func (p *Processor) getAnnounce() *announceOp {
+	if n := len(p.annFree); n > 0 {
+		a := p.annFree[n-1]
+		p.annFree = p.annFree[:n-1]
+		return a
+	}
+	a := &announceOp{p: p}
+	a.fn = func() { a.p.announceDelivered(a) }
+	return a
 }
 
 func newProcessor(id int, sys *System, l1 *cache.Cache, thread *workload.Thread) *Processor {
@@ -318,14 +415,22 @@ func (p *Processor) announceIntent(l mem.LineAddr) {
 		return
 	}
 	p.announcedDirs[home] = true
-	gen := p.gen
-	dir := p.sys.dirs[home]
-	p.sys.bus.Send(p.sys.lineBank(l), func() {
-		if p.gen != gen {
-			return
-		}
-		dir.AnnounceIntent(p.id)
-	})
+	a := p.getAnnounce()
+	a.dir, a.gen = p.sys.dirs[home], p.gen
+	p.sys.bus.Send(p.sys.lineBank(l), a.fn)
+}
+
+// announceDelivered lands a pooled announcement at its directory. The op
+// returns to the pool before the directory runs, so announcement traffic
+// the directory triggers can reuse it.
+func (p *Processor) announceDelivered(a *announceOp) {
+	dir, gen := a.dir, a.gen
+	a.dir = nil
+	p.annFree = append(p.annFree, a)
+	if p.gen != gen {
+		return
+	}
+	dir.AnnounceIntent(p.id)
 }
 
 // withdrawIntents clears this transaction's announcements everywhere.
@@ -342,29 +447,36 @@ func (p *Processor) withdrawIntents() {
 // transaction's read version.
 func (p *Processor) issueMiss(l mem.LineAddr, read, resident bool) {
 	p.setState(stateWaitMiss)
-	gen := p.gen
-	home := p.sys.geom.HomeDir(l)
-	dir := p.sys.dirs[home]
-	p.sys.bus.Send(p.sys.lineBank(l), func() {
-		dir.HandleRead(p.id, l, func(version uint64) {
-			// The fill lands in the cache whatever the fate of the
-			// transaction that requested it.
-			if resident && p.l1.Present(l) {
-				p.versions[l] = version
-			}
-			if p.gen != gen {
-				return // transaction died while the miss was in flight
-			}
-			if read {
-				if _, ok := p.readVersions[l]; !ok {
-					p.readVersions[l] = version
-				}
-			}
-			p.setState(stateRunTx)
-			p.opIdx++
-			p.step()
-		})
-	})
+	m := p.getMiss()
+	m.dir = p.sys.dirs[p.sys.geom.HomeDir(l)]
+	m.line, m.gen, m.read, m.resident = l, p.gen, read, resident
+	p.sys.bus.Send(p.sys.lineBank(l), m.sendFn)
+}
+
+// missReply lands a pooled miss round trip's data back at the processor.
+// The op's state is copied out and the op returned to the pool before
+// any further work: p.step() below may issue the next miss, which is
+// then free to reuse it.
+func (p *Processor) missReply(m *missOp, version uint64) {
+	l, gen, read, resident := m.line, m.gen, m.read, m.resident
+	m.dir = nil
+	p.missFree = append(p.missFree, m)
+	// The fill lands in the cache whatever the fate of the transaction
+	// that requested it.
+	if resident && p.l1.Present(l) {
+		p.versions[l] = version
+	}
+	if p.gen != gen {
+		return // transaction died while the miss was in flight
+	}
+	if read {
+		if _, ok := p.readVersions[l]; !ok {
+			p.readVersions[l] = version
+		}
+	}
+	p.setState(stateRunTx)
+	p.opIdx++
+	p.step()
 }
 
 // reachCommitPoint ends the transaction body. Read-only transactions
@@ -377,30 +489,30 @@ func (p *Processor) reachCommitPoint() {
 		return
 	}
 	p.setState(stateWaitTID)
-	gen := p.gen
 	// Token traffic is pinned to bank 0 on every interconnect shape: the
 	// vendor is one global component, and keeping its round trips on one
 	// FIFO preserves the invariant enterCommitQueue depends on — TID
 	// replies deliver in acquisition order. Interleaving them by requester
 	// would let a younger committer's reply overtake an older one's on a
 	// less loaded bank.
-	p.sys.bus.Send(0, func() {
-		p.sys.eng.ScheduleAfter(p.sys.cfg.Machine.TokenCycles, func() {
-			// The vendor allocates the TID at its service instant even
-			// if the requester dies before the reply lands; the release
-			// below keeps the vendor's books straight in that case.
-			tid := p.sys.vendor.Acquire(p.id)
-			p.sys.counters.TokenRequests++
-			p.sys.bus.Send(0, func() {
-				if p.gen != gen {
-					p.sys.vendor.Release(tid)
-					return
-				}
-				p.tid = tid
-				p.enterCommitQueue()
-			})
-		})
-	})
+	t := p.getToken()
+	t.gen = p.gen
+	p.sys.bus.Send(0, t.requestFn)
+}
+
+// tokenReply lands a pooled token round trip's TID back at the
+// processor, or releases it when the requesting transaction died in
+// flight. The op returns to the pool first: enterCommitQueue's
+// downstream traffic can reuse it.
+func (p *Processor) tokenReply(t *tokenOp) {
+	gen, tid := t.gen, t.tid
+	p.tokenFree = append(p.tokenFree, t)
+	if p.gen != gen {
+		p.sys.vendor.Release(tid)
+		return
+	}
+	p.tid = tid
+	p.enterCommitQueue()
 }
 
 // enterCommitQueue places the commit request (the TID-stamped mark) in

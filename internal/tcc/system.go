@@ -272,8 +272,12 @@ type Result struct {
 	PerProc []ProcStats
 	// CachePerProc holds each L1's counters.
 	CachePerProc []cache.Stats
-	// BusStats holds interconnect counters.
+	// BusStats holds interconnect counters, aggregated over banks.
 	BusStats bus.Stats
+	// BankStats holds each interconnect bank's private counters (one
+	// entry for the single bus), the per-bank breakdown behind the CSV's
+	// bank_util/bank_wait_cycles/bank_rounds columns.
+	BankStats []bus.Stats
 	// DirStats holds each directory's counters.
 	DirStats []directory.Stats
 	// TraceName labels the workload.
@@ -313,6 +317,7 @@ func (s *System) Run() (*Result, error) {
 		PerProc:      make([]ProcStats, len(s.procs)),
 		CachePerProc: make([]cache.Stats, len(s.procs)),
 		BusStats:     s.bus.Stats(),
+		BankStats:    s.bus.BankStats(),
 		TraceName:    s.traceName,
 		Gated:        s.cfg.Gating.Enabled,
 	}
