@@ -81,13 +81,22 @@
 //	// workers (any number of processes, any machines)
 //	stats, err := clockgate.Work(ctx, "coordinator:7400", clockgate.WorkerConfig{})
 //
+// The fleet is elastic: live workers heartbeat their leases so a cell
+// slower than the TTL is never re-run, dead workers are reclaimed by a
+// background expiry sweep, stragglers near the end of a campaign can be
+// re-leased to idle workers (ServeConfig.StealThreshold), and workers
+// ride out transient coordinator outages with bounded retries. A
+// running coordinator is observable via FetchFleetStatus (GET
+// /v1/status) and a Prometheus-style GET /metrics.
+//
 // The coordinator journals completed cells in the -resume checkpoint
 // format (ServeConfig.CheckpointPath), so an interrupted fleet job
 // restarts at the first incomplete cell — or finishes locally with
-// `cmd/experiments -resume`. The CLI exposes both roles as
-// `experiments -serve addr` and `experiments -worker addr`;
+// `cmd/experiments -resume`. The CLI exposes the roles as
+// `experiments -serve addr` (with -selfwork for an in-process worker),
+// `experiments -worker addr` and `experiments -status addr`;
 // docs/DISTRIBUTED.md specifies the protocol (lease state machine,
-// dedup-on-re-lease rule, merge ordering).
+// renewal and stealing rules, dedup-on-re-lease, merge ordering).
 //
 // # Legacy entry points
 //
@@ -445,17 +454,32 @@ func RunScenarios(o CampaignOptions, scenarios []Scenario) (*Campaign, error) {
 
 // ServeConfig tunes a distributed campaign coordinator: lease TTL and
 // batch size, worker poll interval, the post-completion drain grace, an
-// optional JSONL journal path (the -resume checkpoint format), and an
-// OnListen hook reporting the bound address.
+// optional JSONL journal path (the -resume checkpoint format), the
+// background expiry-sweep interval, the straggler-stealing threshold,
+// progress reporting, and an OnListen hook reporting the bound address.
 type ServeConfig = dist.Config
 
 // WorkerConfig tunes a distributed campaign worker: its name, the local
-// session pool width, the lease batch size and the HTTP client.
+// session pool width, the lease batch size, the HTTP client, and the
+// transient-failure retry policy.
 type WorkerConfig = dist.WorkerOptions
 
 // WorkerStats summarizes one worker's participation in a distributed
 // campaign.
 type WorkerStats = dist.WorkerStats
+
+// FleetStatus is one consistent control-plane snapshot of a running
+// coordinator: phase counts (always summing to the cell total),
+// per-worker lease/return/renewal counters, throughput and ETA — the
+// GET /v1/status response.
+type FleetStatus = dist.Status
+
+// FetchFleetStatus fetches the /v1/status snapshot of the coordinator
+// at addr ("host:port" or an http:// URL) — what `experiments -status`
+// prints.
+func FetchFleetStatus(ctx context.Context, addr string) (FleetStatus, error) {
+	return dist.FetchStatus(ctx, nil, addr)
+}
 
 // Serve turns the campaign into a fleet job: it listens on addr, owns
 // the campaign's canonical cell list (the options' grid, restricted to

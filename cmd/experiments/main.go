@@ -22,6 +22,10 @@
 //	    # run leased cells on a local session
 //	experiments -serve :7400 -matrix done -resume j.jsonl  # distribute the
 //	    # done-set; the journal doubles as a -resume checkpoint
+//	experiments -serve :7400 -selfwork -summary      # coordinator that also
+//	    # works its own leases, so a fleet of one still makes progress
+//	experiments -status host:7400                    # one-shot fleet status
+//	    # snapshot (phase counts, per-worker counters, throughput, ETA)
 //
 // Every sweep runs on one clockgate session (worker pool + trace cache +
 // optional checkpoint sink); SIGINT/SIGTERM cancel the session's context,
@@ -41,7 +45,9 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/dist"
@@ -76,6 +82,10 @@ func main() {
 		resume     = flag.String("resume", "", "JSONL checkpoint file: completed cells are appended as they finish and an interrupted run restarts at the first incomplete cell")
 		serve      = flag.String("serve", "", "coordinate a distributed campaign on this listen address (e.g. \":7400\"): cells are leased to -worker processes and merged byte-identically to a local run; with -resume the file doubles as the coordinator journal")
 		worker     = flag.String("worker", "", "join the coordinator at this address (host:port) and execute leased cells on a local session with -workers goroutines")
+		status     = flag.String("status", "", "print the /v1/status snapshot of the coordinator at this address (host:port) and exit")
+		selfWork   = flag.Bool("selfwork", false, "with -serve: also run an in-process worker, so a fleet of one makes progress without a separate -worker process")
+		steal      = flag.Int("steal", 8, "with -serve: once at most N unfinished cells remain and none are pending, re-lease the oldest in-flight cells to idle workers (straggler stealing; 0 disables)")
+		progress   = flag.Duration("progress", 30*time.Second, "with -serve: log a fleet progress line to stderr at this interval (0 disables)")
 	)
 	flag.Parse()
 
@@ -85,7 +95,7 @@ func main() {
 	}
 	if !(*table1 || *table2 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 ||
 		*summary || *detail || *ablation || *extended || *seeds > 0 || *csvPath != "" ||
-		*matrix != "" || *matrixList || *e2eDoc || *serve != "" || *worker != "") {
+		*matrix != "" || *matrixList || *e2eDoc || *serve != "" || *worker != "" || *status != "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -96,6 +106,18 @@ func main() {
 	}
 	if *matrixList {
 		fmt.Println(experiments.MatrixTable())
+		return
+	}
+
+	if *status != "" {
+		// Status mode: one read-only control-plane snapshot, no session.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		st, err := dist.FetchStatus(ctx, nil, *status)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(st.Summary())
 		return
 	}
 
@@ -111,7 +133,8 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("worker done: %d cells over %d leases\n", st.Cells, st.Leases)
+		fmt.Printf("worker done: %d cells over %d leases (%d transient-error retries, %d lease renewals)\n",
+			st.Cells, st.Leases, st.Retries, st.Renewals)
 		return
 	}
 
@@ -200,10 +223,25 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		var selfWG sync.WaitGroup
 		coord, err := dist.NewCoordinator(opts, cells, dist.Config{
-			CheckpointPath: *resume,
+			CheckpointPath:   *resume,
+			StealThreshold:   *steal,
+			ProgressInterval: *progress,
+			OnProgress: func(st dist.Status) {
+				fmt.Fprintln(os.Stderr, "experiments: fleet: "+st.Progress())
+			},
 			OnListen: func(a string) {
-				fmt.Fprintf(os.Stderr, "experiments: coordinating %d cells on %s (point workers at it with -worker)\n", len(cells), a)
+				fmt.Fprintf(os.Stderr, "experiments: coordinating %d cells on %s (point workers at it with -worker, inspect with -status)\n", len(cells), a)
+				if *selfWork {
+					selfWG.Add(1)
+					go func() {
+						defer selfWG.Done()
+						if _, err := dist.Work(ctx, a, dist.WorkerOptions{Name: "self", Workers: *workers}); err != nil {
+							fmt.Fprintf(os.Stderr, "experiments: in-process worker: %v\n", err)
+						}
+					}()
+				}
 			},
 		})
 		if err != nil {
@@ -217,9 +255,10 @@ func main() {
 		if err != nil {
 			fatalRun(err, *resume)
 		}
+		selfWG.Wait()
 		st := coord.Stats()
-		fmt.Fprintf(os.Stderr, "experiments: distributed campaign complete: %d cells (%d restored from journal, %d leases, %d expired, %d duplicate returns)\n",
-			len(cells), st.Restored, st.Leases, st.Expired, st.Duplicates)
+		fmt.Fprintf(os.Stderr, "experiments: distributed campaign complete: %d cells (%d restored from journal, %d leases, %d expired, %d renewals, %d stolen, %d duplicate returns)\n",
+			len(cells), st.Restored, st.Leases, st.Expired, st.Renewals, st.Steals, st.Duplicates)
 		if *detail {
 			fmt.Println(campaign.DetailTable())
 		}

@@ -10,8 +10,12 @@
 //
 // Here they share one process so the example is self-contained. The
 // coordinator's OnListen hook reports the bound address, which is how
-// the workers find a ":0" ephemeral port. docs/DISTRIBUTED.md specifies
-// the protocol (lease state machine, dedup-on-re-lease, merge ordering).
+// the workers find a ":0" ephemeral port. While the fleet runs, the
+// workers heartbeat their leases (slow cells are never re-run), the
+// coordinator may re-lease stragglers to whichever worker goes idle
+// first, and a mid-run /v1/status snapshot shows the fleet's progress.
+// docs/DISTRIBUTED.md specifies the protocol (lease state machine,
+// renewal and stealing rules, dedup-on-re-lease, merge ordering).
 //
 //	go run ./examples/distributed
 package main
@@ -47,7 +51,8 @@ func main() {
 	// workers against the actual address.
 	var wg sync.WaitGroup
 	cfg := clockgate.ServeConfig{
-		LeaseBatch: 2, // small batches so both workers get a share
+		LeaseBatch:     2, // small batches so both workers get a share
+		StealThreshold: 4, // near the end, idle workers may steal stragglers
 		OnListen: func(addr string) {
 			fmt.Printf("coordinator listening on %s, launching 2 workers\n", addr)
 			for i := 1; i <= 2; i++ {
@@ -63,6 +68,16 @@ func main() {
 					fmt.Printf("%s: %d cells over %d leases\n", name, stats.Cells, stats.Leases)
 				}()
 			}
+			// The control plane: poll GET /v1/status mid-run, the same
+			// snapshot `experiments -status addr` prints.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				time.Sleep(500 * time.Millisecond)
+				if st, err := clockgate.FetchFleetStatus(ctx, addr); err == nil {
+					fmt.Printf("fleet status: %s\n", st.Progress())
+				}
+			}()
 		},
 	}
 	merged, err := clockgate.Serve(ctx, "127.0.0.1:0", opts, cfg)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -17,8 +18,10 @@ import (
 // defaults; tests shrink the timings.
 type Config struct {
 	// LeaseTTL is how long a worker owns a leased batch before the
-	// coordinator may hand its unfinished cells to someone else.
-	// Default 2 minutes.
+	// coordinator may hand its unfinished cells to someone else. A live
+	// worker extends the deadline by POSTing /v1/renew while its cells
+	// are still running, so the TTL bounds crash detection latency, not
+	// cell runtime. Default 2 minutes.
 	LeaseTTL time.Duration
 	// LeaseBatch caps the cells granted per lease. Default 8; a
 	// worker's request may ask for fewer.
@@ -30,6 +33,30 @@ type Config struct {
 	// after the campaign completes, so polling workers observe the end
 	// instead of a vanished server. Default 1s.
 	DrainGrace time.Duration
+	// SweepInterval is the period of the background expiry sweep Serve
+	// runs: deadline-passed leases are reclaimed on this cadence even
+	// when no worker is asking for work (the lease path still reclaims
+	// lazily too). Default LeaseTTL/4, clamped to [25ms, 15s].
+	SweepInterval time.Duration
+	// StealThreshold enables straggler re-lease (work stealing): when at
+	// most StealThreshold cells remain, none are pending, and an idle
+	// worker asks for work, the coordinator re-leases the oldest
+	// in-flight cells to it — first completed return wins, the per-cell
+	// dedup discards the loser. 0 (the default) and negative values
+	// disable stealing; the lease-expiry path alone then heals dead
+	// workers.
+	StealThreshold int
+	// StealMinAge is the minimum age of a cell's current lease before
+	// the cell may be stolen, damping steal ping-pong between idle
+	// workers. Default LeaseTTL/2; negative means no minimum.
+	StealMinAge time.Duration
+	// ProgressInterval is the cadence of OnProgress callbacks from the
+	// Serve background loop. 0 disables them.
+	ProgressInterval time.Duration
+	// OnProgress, when set (with ProgressInterval > 0), periodically
+	// receives a Status snapshot while Serve runs — the hook the CLI's
+	// progress logging uses.
+	OnProgress func(Status)
 	// CheckpointPath, when set, journals every merged cell as one JSONL
 	// line — the exact checkpoint format `cmd/experiments -resume`
 	// reads and writes. Restarting a coordinator (or a single-process
@@ -70,6 +97,30 @@ func (c Config) drainGrace() time.Duration {
 	return time.Second
 }
 
+func (c Config) sweepInterval() time.Duration {
+	if c.SweepInterval > 0 {
+		return c.SweepInterval
+	}
+	iv := c.leaseTTL() / 4
+	if iv < 25*time.Millisecond {
+		iv = 25 * time.Millisecond
+	}
+	if iv > 15*time.Second {
+		iv = 15 * time.Second
+	}
+	return iv
+}
+
+func (c Config) stealMinAge() time.Duration {
+	switch {
+	case c.StealMinAge > 0:
+		return c.StealMinAge
+	case c.StealMinAge < 0:
+		return 0
+	}
+	return c.leaseTTL() / 2
+}
+
 // Stats counts coordinator activity.
 type Stats struct {
 	// Leases is the number of non-empty lease grants.
@@ -85,6 +136,11 @@ type Stats struct {
 	// Restored counts cells restored from the checkpoint journal at
 	// startup instead of leased out.
 	Restored int
+	// Renewals counts granted /v1/renew deadline extensions.
+	Renewals int
+	// Steals counts cells re-leased to an idle worker while still
+	// in-flight on another (the straggler re-lease rule).
+	Steals int
 }
 
 // cellPhase is the lease state machine of one cell:
@@ -94,7 +150,10 @@ type Stats struct {
 //	   +---deadline past--+
 //
 // done is terminal; a done cell can never be leased again, and a second
-// return of it is discarded as a duplicate.
+// return of it is discarded as a duplicate. A leased cell may also be
+// re-leased to a second worker (straggler steal): the phase stays
+// leased, ownership moves to the newest lease, and the first completed
+// return — from either owner — wins.
 type cellPhase uint8
 
 const (
@@ -108,7 +167,29 @@ type lease struct {
 	id       uint64
 	worker   string
 	cells    []int // canonical positions granted
+	granted  time.Time
 	deadline time.Time
+}
+
+// workerCounters is the per-worker accounting behind Status.Workers,
+// keyed by the free-form worker name.
+type workerCounters struct {
+	leases     int
+	returned   int
+	duplicates int
+	renewals   int
+	steals     int
+	expired    int
+	lastSeen   time.Time
+}
+
+// journalEntry is one merged cell queued for the checkpoint journal:
+// appended under c.mu (so the queue carries the merge order), written
+// outside it (so fsync-grade I/O never stalls leases and returns).
+type journalEntry struct {
+	pos  int
+	cell experiments.Cell
+	out  *core.Outcome
 }
 
 // Coordinator owns one campaign's canonical cell list and runs its lease
@@ -119,6 +200,7 @@ type Coordinator struct {
 	opts        experiments.Options
 	fingerprint string
 	cells       []experiments.Cell
+	startedAt   time.Time
 
 	mu        sync.Mutex
 	phase     []cellPhase
@@ -129,9 +211,15 @@ type Coordinator struct {
 	leases    map[uint64]*lease
 	nextLease uint64
 	stats     Stats
+	workers   map[string]*workerCounters
 	ckpt      *experiments.Checkpoint
+	journalQ  []journalEntry
 	done      chan struct{}
 	failed    bool
+
+	// journalMu serializes journal flushes; held without c.mu so a slow
+	// disk blocks only other flushers, never the lease/return paths.
+	journalMu sync.Mutex
 }
 
 // NewCoordinator builds a coordinator for the given cells — the
@@ -148,12 +236,14 @@ func NewCoordinator(opts experiments.Options, cells []experiments.Cell, cfg Conf
 		opts:        opts,
 		fingerprint: opts.Fingerprint(),
 		cells:       cells,
+		startedAt:   time.Now(),
 		phase:       make([]cellPhase, len(cells)),
 		owner:       make([]uint64, len(cells)),
 		outcomes:    make([]*core.Outcome, len(cells)),
 		errs:        make([]error, len(cells)),
 		remaining:   len(cells),
 		leases:      make(map[uint64]*lease),
+		workers:     make(map[string]*workerCounters),
 		done:        make(chan struct{}),
 	}
 	if cfg.CheckpointPath != "" {
@@ -184,12 +274,17 @@ func (c *Coordinator) Stats() Stats {
 	return c.stats
 }
 
-// Handler returns the coordinator's HTTP protocol surface.
+// Handler returns the coordinator's HTTP protocol surface: the three
+// work endpoints plus the read-only control plane (/v1/status JSON and
+// the Prometheus-style /metrics text).
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/campaign", c.handleCampaign)
 	mux.HandleFunc("POST /v1/lease", c.handleLease)
+	mux.HandleFunc("POST /v1/renew", c.handleRenew)
 	mux.HandleFunc("POST /v1/return", c.handleReturn)
+	mux.HandleFunc("GET /v1/status", c.handleStatus)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
 	return mux
 }
 
@@ -207,10 +302,35 @@ func (c *Coordinator) handleCampaign(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// workerLocked returns (creating on first contact) the counters for the
+// named worker and stamps its last-seen time. Called with mu held.
+func (c *Coordinator) workerLocked(name string, now time.Time) *workerCounters {
+	wk := c.workers[name]
+	if wk == nil {
+		wk = &workerCounters{}
+		c.workers[name] = wk
+	}
+	wk.lastSeen = now
+	return wk
+}
+
+// closeDoneLocked signals campaign completion exactly once. Called with
+// mu held.
+func (c *Coordinator) closeDoneLocked() {
+	select {
+	case <-c.done:
+	default:
+		close(c.done)
+	}
+}
+
 // reclaimExpired returns every cell of every deadline-passed lease to
-// the pending pool. Called with mu held, lazily from the lease path: a
-// dead worker's cells become grantable the first time a live worker asks
-// for work after the deadline.
+// the pending pool. Called with mu held — lazily from the lease path,
+// and periodically from Serve's background sweep, so a fleet whose
+// workers all died still reclaims (and reports) the leases without
+// waiting for a live worker to ask for work. Cells whose ownership
+// moved to a newer lease (a renewal keeps ownership; a steal moves it)
+// are left alone: only the current owner's deadline matters.
 func (c *Coordinator) reclaimExpired(now time.Time) {
 	for id, l := range c.leases {
 		if now.Before(l.deadline) {
@@ -227,8 +347,61 @@ func (c *Coordinator) reclaimExpired(now time.Time) {
 		delete(c.leases, id)
 		if expired {
 			c.stats.Expired++
+			if wk := c.workers[l.worker]; wk != nil {
+				wk.expired++
+			}
 		}
 	}
+}
+
+// stealLocked implements the straggler re-lease rule: with no pending
+// cells, at most Config.StealThreshold cells remaining, and an idle
+// worker asking, the oldest in-flight cells of *other* workers are
+// granted again. Ownership moves to the new lease; whichever copy
+// returns first wins (the per-cell dedup discards the other), so the
+// merged bytes cannot change. Called with mu held; returns nil when
+// stealing is disabled or no cell qualifies.
+func (c *Coordinator) stealLocked(worker string, now time.Time, max int) ([]LeasedCell, []int) {
+	if c.cfg.StealThreshold <= 0 || c.remaining > c.cfg.StealThreshold {
+		return nil, nil
+	}
+	minAge := c.cfg.stealMinAge()
+	type candidate struct {
+		pos     int
+		granted time.Time
+	}
+	var cands []candidate
+	for pos := range c.cells {
+		if c.phase[pos] != cellLeased {
+			continue
+		}
+		l := c.leases[c.owner[pos]]
+		if l == nil || l.worker == worker {
+			continue
+		}
+		if now.Sub(l.granted) < minAge {
+			continue
+		}
+		cands = append(cands, candidate{pos: pos, granted: l.granted})
+	}
+	// Oldest in-flight first: the longest-running lease is the likeliest
+	// straggler. Position breaks ties so the order is deterministic.
+	sort.Slice(cands, func(i, j int) bool {
+		if !cands[i].granted.Equal(cands[j].granted) {
+			return cands[i].granted.Before(cands[j].granted)
+		}
+		return cands[i].pos < cands[j].pos
+	})
+	if len(cands) > max {
+		cands = cands[:max]
+	}
+	var granted []LeasedCell
+	var positions []int
+	for _, cd := range cands {
+		granted = append(granted, LeasedCell{Pos: cd.pos, Cell: c.cells[cd.pos]})
+		positions = append(positions, cd.pos)
+	}
+	return granted, positions
 }
 
 func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
@@ -254,6 +427,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	}
 	now := time.Now()
 	c.reclaimExpired(now)
+	wk := c.workerLocked(req.Worker, now)
 
 	var granted []LeasedCell
 	var positions []int
@@ -267,9 +441,15 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		granted = append(granted, LeasedCell{Pos: pos, Cell: c.cells[pos]})
 		positions = append(positions, pos)
 	}
+	stolen := 0
+	if len(granted) == 0 {
+		granted, positions = c.stealLocked(req.Worker, now, max)
+		stolen = len(positions)
+	}
 	if len(granted) == 0 {
 		// Everything is leased out or done: poll again later (an
-		// expiry may free work before the campaign completes).
+		// expiry or a qualifying steal may free work before the
+		// campaign completes).
 		writeJSON(w, LeaseResponse{RetryMS: c.cfg.retryDelay().Milliseconds()})
 		return
 	}
@@ -278,6 +458,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		id:       c.nextLease,
 		worker:   req.Worker,
 		cells:    positions,
+		granted:  now,
 		deadline: now.Add(c.cfg.leaseTTL()),
 	}
 	c.leases[l.id] = l
@@ -286,11 +467,51 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		c.owner[pos] = l.id
 	}
 	c.stats.Leases++
+	wk.leases++
+	if stolen > 0 {
+		c.stats.Steals += stolen
+		wk.steals += stolen
+	}
 	writeJSON(w, LeaseResponse{
 		LeaseID:    l.id,
 		Cells:      granted,
 		DeadlineMS: c.cfg.leaseTTL().Milliseconds(),
 	})
+}
+
+// handleRenew extends a live lease's deadline by one TTL — the
+// heartbeat a worker sends while a leased cell is still running, so
+// slow cells outlive the TTL instead of being reclaimed mid-compute. A
+// lease the coordinator no longer tracks (expired and reclaimed, or
+// fully returned) answers Expired: the worker stops renewing but may
+// still return its results — the per-cell dedup sorts it out.
+func (c *Coordinator) handleRenew(w http.ResponseWriter, r *http.Request) {
+	var req RenewRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad renew request: %v", err), http.StatusBadRequest)
+		return
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failed {
+		writeJSON(w, RenewResponse{Err: c.firstErrLocked().Error()})
+		return
+	}
+	if c.remaining == 0 {
+		writeJSON(w, RenewResponse{Done: true})
+		return
+	}
+	now := time.Now()
+	l, ok := c.leases[req.LeaseID]
+	if !ok {
+		writeJSON(w, RenewResponse{Expired: true})
+		return
+	}
+	l.deadline = now.Add(c.cfg.leaseTTL())
+	c.stats.Renewals++
+	c.workerLocked(req.Worker, now).renewals++
+	writeJSON(w, RenewResponse{DeadlineMS: c.cfg.leaseTTL().Milliseconds()})
 }
 
 func (c *Coordinator) handleReturn(w http.ResponseWriter, r *http.Request) {
@@ -301,10 +522,13 @@ func (c *Coordinator) handleReturn(w http.ResponseWriter, r *http.Request) {
 	}
 
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	var resp ReturnResponse
+	// Validate the whole batch before mutating any state: a bad record
+	// at index k > 0 must not leave indices < k merged, journaled and
+	// counted behind a 4xx — the return is atomic, accepted or rejected
+	// as a unit, so a worker can safely retry an identical request.
 	for _, res := range req.Results {
 		if res.Pos < 0 || res.Pos >= len(c.cells) {
+			c.mu.Unlock()
 			http.Error(w, fmt.Sprintf("result position %d out of range [0,%d)", res.Pos, len(c.cells)), http.StatusBadRequest)
 			return
 		}
@@ -312,18 +536,26 @@ func (c *Coordinator) handleReturn(w http.ResponseWriter, r *http.Request) {
 			// A record that does not compute the campaign's cell at
 			// this position can never be merged — reject the whole
 			// return so the bug is loud.
+			c.mu.Unlock()
 			http.Error(w, fmt.Sprintf("result for position %d is cell %q, campaign expects %q",
 				res.Pos, res.Record.Cell.Key(), c.cells[res.Pos].Key()), http.StatusConflict)
 			return
 		}
+	}
+
+	now := time.Now()
+	wk := c.workerLocked(req.Worker, now)
+	var resp ReturnResponse
+	for _, res := range req.Results {
 		if c.phase[res.Pos] == cellDone {
 			// Dedup-on-re-lease: the cell was already completed (by an
 			// earlier return, possibly after this worker's lease
-			// expired and the cell re-ran elsewhere). Cells are
-			// deterministic, so discarding the late copy cannot change
-			// the merged output.
+			// expired or its cell was stolen and re-ran elsewhere).
+			// Cells are deterministic, so discarding the late copy
+			// cannot change the merged output.
 			resp.Duplicates++
 			c.stats.Duplicates++
+			wk.duplicates++
 			continue
 		}
 		if res.Err != "" {
@@ -333,16 +565,18 @@ func (c *Coordinator) handleReturn(w http.ResponseWriter, r *http.Request) {
 			out := res.Record.Outcome()
 			c.outcomes[res.Pos] = out
 			if c.ckpt != nil {
-				if err := c.ckpt.Record(c.cells[res.Pos], out); err != nil {
-					c.errs[res.Pos] = fmt.Errorf("dist: journal: %w", err)
-					c.failed = true
-				}
+				// Buffer the journal record under the lock (the queue
+				// carries the merge order) and write it after releasing
+				// it: fsync-grade I/O must not stall every concurrent
+				// lease and return on c.mu.
+				c.journalQ = append(c.journalQ, journalEntry{pos: res.Pos, cell: c.cells[res.Pos], out: out})
 			}
 		}
 		c.phase[res.Pos] = cellDone
 		c.owner[res.Pos] = 0
 		c.remaining--
 		c.stats.Returned++
+		wk.returned++
 		resp.Accepted++
 	}
 	// A fully-returned lease has nothing left to reclaim: drop it now
@@ -359,19 +593,58 @@ func (c *Coordinator) handleReturn(w http.ResponseWriter, r *http.Request) {
 			delete(c.leases, req.LeaseID)
 		}
 	}
+	c.mu.Unlock()
+
+	c.flushJournal()
+
 	// The campaign ends when every cell is accounted for — or as soon as
 	// any cell fails: cells are deterministic, so a failed cell would
 	// fail on every worker, and waiting for the rest would leave Serve
-	// blocked forever once leases stop being granted.
+	// blocked forever once leases stop being granted. Completion is
+	// signaled only after the journal flush above, so Serve never closes
+	// a checkpoint file with this handler's records still queued.
+	c.mu.Lock()
 	if c.remaining == 0 || c.failed {
-		select {
-		case <-c.done:
-		default:
-			close(c.done)
-		}
+		c.closeDoneLocked()
 		resp.Done = true
 	}
+	c.mu.Unlock()
 	writeJSON(w, resp)
+}
+
+// flushJournal drains the queued checkpoint records to disk outside
+// c.mu. journalMu serializes flushers; because entries are appended to
+// journalQ under c.mu (in merge order) and each flusher drains the
+// queue FIFO — including entries other handlers appended while this
+// flush ran — the journal preserves the merge order exactly, as if the
+// writes still happened under the big lock.
+func (c *Coordinator) flushJournal() {
+	if c.ckpt == nil {
+		return
+	}
+	c.journalMu.Lock()
+	defer c.journalMu.Unlock()
+	for {
+		c.mu.Lock()
+		q := c.journalQ
+		c.journalQ = nil
+		c.mu.Unlock()
+		if len(q) == 0 {
+			return
+		}
+		for _, e := range q {
+			if err := c.ckpt.Record(e.cell, e.out); err != nil {
+				c.mu.Lock()
+				if c.errs[e.pos] == nil {
+					c.errs[e.pos] = fmt.Errorf("dist: journal: %w", err)
+				}
+				c.failed = true
+				c.closeDoneLocked()
+				c.mu.Unlock()
+				return
+			}
+		}
+	}
 }
 
 // firstErrLocked returns the lowest-position cell failure, mirroring the
@@ -401,12 +674,42 @@ func (c *Coordinator) Campaign() (*experiments.Campaign, error) {
 	return &experiments.Campaign{Options: c.opts, Cells: c.cells, Outcomes: c.outcomes}, nil
 }
 
+// background runs the expiry sweep (and the optional progress callback)
+// until stop closes. The sweep is what keeps the lease state machine
+// honest with no live workers: a fleet that all died still has its
+// leases reclaimed and reported on the sweep cadence, and /v1/status
+// reflects reality instead of whatever the last lease request saw.
+func (c *Coordinator) background(stop <-chan struct{}) {
+	sweep := time.NewTicker(c.cfg.sweepInterval())
+	defer sweep.Stop()
+	var progress <-chan time.Time
+	if c.cfg.ProgressInterval > 0 && c.cfg.OnProgress != nil {
+		t := time.NewTicker(c.cfg.ProgressInterval)
+		defer t.Stop()
+		progress = t.C
+	}
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-sweep.C:
+			c.mu.Lock()
+			c.reclaimExpired(now)
+			c.mu.Unlock()
+		case <-progress:
+			c.cfg.OnProgress(c.Status())
+		}
+	}
+}
+
 // Serve runs the coordinator on the listener until the campaign
-// completes or ctx is canceled, then returns the merged campaign. After
+// completes or ctx is canceled, then returns the merged campaign. While
+// serving, a background loop sweeps expired leases every
+// Config.SweepInterval and emits Config.OnProgress snapshots. After
 // completion the server keeps answering "done" for Config.DrainGrace so
-// polling workers observe the end of the campaign before the socket
-// closes. The listener is closed on return; the checkpoint journal, if
-// any, is closed too.
+// polling workers observe the end instead of a vanished server. The
+// listener is closed on return; the checkpoint journal, if any, is
+// closed too.
 func (c *Coordinator) Serve(ctx context.Context, ln net.Listener) (*experiments.Campaign, error) {
 	srv := &http.Server{Handler: c.Handler()}
 	errCh := make(chan error, 1)
@@ -419,6 +722,9 @@ func (c *Coordinator) Serve(ctx context.Context, ln net.Listener) (*experiments.
 	if c.ckpt != nil {
 		defer c.ckpt.Close()
 	}
+	stop := make(chan struct{})
+	go c.background(stop)
+	defer close(stop)
 	if c.cfg.OnListen != nil {
 		c.cfg.OnListen(ln.Addr().String())
 	}

@@ -6,20 +6,30 @@
 // byte-identical to a single-process Session.Run of the same options,
 // which the golden tests in dist_test.go pin.
 //
-// The protocol (specified in docs/DISTRIBUTED.md) is three endpoints:
+// The protocol (specified in docs/DISTRIBUTED.md) is four work
+// endpoints plus a read-only control plane:
 //
 //	GET  /v1/campaign   what this coordinator is running (fingerprint,
 //	                    options, cell count) — the worker join handshake
 //	POST /v1/lease      claim a batch of pending cells under a deadline
+//	POST /v1/renew      heartbeat: extend a live lease's deadline while
+//	                    its cells are still running
 //	POST /v1/return     deliver completed cell records
+//	GET  /v1/status     JSON snapshot: phase counts, per-worker
+//	                    counters, throughput, ETA
+//	GET  /metrics       the same numbers in Prometheus text format
 //
-// Leases carry deadlines: a worker that dies mid-batch simply stops
-// renewing its claim, and once the deadline passes the coordinator
-// reclaims the batch's unfinished cells for the next /v1/lease call.
-// Results are deduplicated per cell (first completed return wins), so a
-// slow worker returning after its lease expired — and after the cell was
-// re-run elsewhere — changes nothing: cells are deterministic, and the
-// merge keys on canonical position, not on who computed it.
+// Leases carry deadlines: a live worker renews its claim while a cell
+// runs (so slow cells outlive the TTL), and a worker that dies simply
+// stops renewing — once the deadline passes the coordinator reclaims
+// the batch's unfinished cells, lazily on the lease path and
+// periodically from Serve's background sweep. Near the end of a
+// campaign the coordinator may also re-lease the oldest in-flight cells
+// to idle workers (straggler stealing). Results are deduplicated per
+// cell (first completed return wins), so a slow worker returning after
+// its lease expired — or after its cell was stolen and re-run elsewhere
+// — changes nothing: cells are deterministic, and the merge keys on
+// canonical position, not on who computed it.
 package dist
 
 import "repro/internal/experiments"
@@ -68,6 +78,28 @@ type LeaseResponse struct {
 	// Err reports a failed campaign (some cell errored): workers should
 	// stop polling and exit with this error.
 	Err string `json:"err,omitempty"`
+}
+
+// RenewRequest is the worker heartbeat: it extends the lease's deadline
+// by one TTL while the lease's cells are still running, so a cell
+// slower than the TTL is not reclaimed and re-run elsewhere.
+type RenewRequest struct {
+	LeaseID uint64 `json:"lease_id"`
+	Worker  string `json:"worker"`
+}
+
+// RenewResponse answers a heartbeat. DeadlineMS carries the renewed TTL
+// on success. Expired reports that the coordinator no longer tracks the
+// lease (its deadline passed and it was reclaimed, or every cell was
+// already returned): the worker should stop renewing but may still
+// return its results — late returns are merged or deduplicated as
+// usual. Done and Err mirror LeaseResponse: the campaign ended, so
+// renewing (and computing) is pointless.
+type RenewResponse struct {
+	DeadlineMS int64  `json:"deadline_ms,omitempty"`
+	Expired    bool   `json:"expired,omitempty"`
+	Done       bool   `json:"done,omitempty"`
+	Err        string `json:"err,omitempty"`
 }
 
 // CellReturn is one completed cell: its canonical position, and either

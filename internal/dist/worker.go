@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"os"
 	"runtime"
@@ -29,6 +31,17 @@ type WorkerOptions struct {
 	// Client is the HTTP client used to reach the coordinator. Default
 	// a client with a 30s request timeout.
 	Client *http.Client
+	// MaxRetries bounds the transient-failure retries per request
+	// (connection errors, 5xx): the worker survives a flaky network or
+	// a briefly-unreachable coordinator instead of dying on the first
+	// hiccup. Protocol errors (4xx, version skew, campaign failure)
+	// are never retried. Default 8; negative disables retries.
+	MaxRetries int
+	// RetryBase is the first retry backoff delay; it doubles per
+	// attempt (with jitter) up to RetryMax. Default 100ms.
+	RetryBase time.Duration
+	// RetryMax caps the backoff delay. Default 5s.
+	RetryMax time.Duration
 }
 
 func (o WorkerOptions) name() string {
@@ -63,6 +76,30 @@ func (o WorkerOptions) client() *http.Client {
 	return &http.Client{Timeout: 30 * time.Second}
 }
 
+func (o WorkerOptions) maxRetries() int {
+	switch {
+	case o.MaxRetries > 0:
+		return o.MaxRetries
+	case o.MaxRetries < 0:
+		return 0
+	}
+	return 8
+}
+
+func (o WorkerOptions) retryBase() time.Duration {
+	if o.RetryBase > 0 {
+		return o.RetryBase
+	}
+	return 100 * time.Millisecond
+}
+
+func (o WorkerOptions) retryMax() time.Duration {
+	if o.RetryMax > 0 {
+		return o.RetryMax
+	}
+	return 5 * time.Second
+}
+
 // WorkerStats summarizes one worker's participation in a campaign.
 type WorkerStats struct {
 	// Cells is how many cells this worker completed and returned.
@@ -72,6 +109,20 @@ type WorkerStats struct {
 	Failed int
 	// Leases is how many non-empty leases the worker was granted.
 	Leases int
+	// Retries counts transient request failures survived by backoff.
+	Retries int
+	// Renewals counts granted lease heartbeats (/v1/renew).
+	Renewals int
+}
+
+// normalizeBase turns "host:port" or a full URL into a scheme-qualified
+// base URL without a trailing slash.
+func normalizeBase(addr string) string {
+	base := strings.TrimSuffix(addr, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return base
 }
 
 // Work joins the coordinator at baseURL ("host:port" or a full http://
@@ -80,16 +131,23 @@ type WorkerStats struct {
 // engine: one session (worker pool + trace cache) serves every lease,
 // exactly as it serves a local campaign, so a cell computes the same
 // bytes here as it would in-process.
+//
+// The worker is built to survive real networks: transient request
+// failures (connection errors, 5xx) retry with bounded exponential
+// backoff and jitter, and while a lease's cells are running a heartbeat
+// goroutine renews the lease so cells slower than the coordinator's
+// LeaseTTL are not reclaimed mid-compute. Only protocol errors — 4xx
+// rejections, protocol-version or fingerprint skew, a failed campaign —
+// end the worker.
 func Work(ctx context.Context, baseURL string, o WorkerOptions) (WorkerStats, error) {
 	var stats WorkerStats
-	base := strings.TrimSuffix(baseURL, "/")
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
-	}
+	base := normalizeBase(baseURL)
 	client := o.client()
 
 	var info CampaignInfo
-	if err := getJSON(ctx, client, base+"/v1/campaign", &info); err != nil {
+	if err := retry(ctx, o, &stats, func() error {
+		return getJSON(ctx, client, base+"/v1/campaign", &info)
+	}); err != nil {
 		return stats, fmt.Errorf("dist: join %s: %w", base, err)
 	}
 	if info.Protocol != ProtocolVersion {
@@ -113,7 +171,9 @@ func Work(ctx context.Context, baseURL string, o WorkerOptions) (WorkerStats, er
 			return stats, err
 		}
 		var grant LeaseResponse
-		err := postJSON(ctx, client, base+"/v1/lease", LeaseRequest{Worker: name, Max: o.maxBatch()}, &grant)
+		err := retry(ctx, o, &stats, func() error {
+			return postJSON(ctx, client, base+"/v1/lease", LeaseRequest{Worker: name, Max: o.maxBatch()}, &grant)
+		})
 		if err != nil {
 			return stats, fmt.Errorf("dist: lease: %w", err)
 		}
@@ -124,20 +184,31 @@ func Work(ctx context.Context, baseURL string, o WorkerOptions) (WorkerStats, er
 			return stats, nil
 		}
 		if len(grant.Cells) == 0 {
-			retry := time.Duration(grant.RetryMS) * time.Millisecond
-			if retry <= 0 {
-				retry = 200 * time.Millisecond
+			retryIn := time.Duration(grant.RetryMS) * time.Millisecond
+			if retryIn <= 0 {
+				retryIn = 200 * time.Millisecond
 			}
 			select {
 			case <-ctx.Done():
 				return stats, ctx.Err()
-			case <-time.After(retry):
+			case <-time.After(retryIn):
 			}
 			continue
 		}
 		stats.Leases++
 
-		results := runLease(ctx, session, grant.Cells)
+		// Heartbeat while the lease's cells compute: renewals keep a
+		// slow cell's lease alive; a campaign failure observed by the
+		// heartbeat cancels the run so the worker stops wasting work.
+		runCtx, cancelRun := context.WithCancel(ctx)
+		hb := startHeartbeat(runCtx, client, base, name, grant, cancelRun)
+		results := runLease(runCtx, session, grant.Cells)
+		cancelRun()
+		<-hb.done
+		stats.Renewals += hb.renewals
+		if hb.campaignErr != nil {
+			return stats, hb.campaignErr
+		}
 		if err := ctx.Err(); err != nil {
 			return stats, err
 		}
@@ -152,8 +223,10 @@ func Work(ctx context.Context, baseURL string, o WorkerOptions) (WorkerStats, er
 			}
 		}
 		var ack ReturnResponse
-		err = postJSON(ctx, client, base+"/v1/return",
-			ReturnRequest{LeaseID: grant.LeaseID, Worker: name, Results: results}, &ack)
+		err = retry(ctx, o, &stats, func() error {
+			return postJSON(ctx, client, base+"/v1/return",
+				ReturnRequest{LeaseID: grant.LeaseID, Worker: name, Results: results}, &ack)
+		})
 		if err != nil {
 			return stats, fmt.Errorf("dist: return: %w", err)
 		}
@@ -167,6 +240,68 @@ func Work(ctx context.Context, baseURL string, o WorkerOptions) (WorkerStats, er
 			return stats, nil
 		}
 	}
+}
+
+// heartbeat is one lease's renewal loop. campaignErr and renewals are
+// written by the goroutine and must be read only after done closes.
+type heartbeat struct {
+	done        chan struct{}
+	renewals    int
+	campaignErr error
+}
+
+// startHeartbeat renews the granted lease every third of its TTL until
+// ctx cancels or the coordinator reports the lease gone (Expired — the
+// results will still be returned and deduplicated) or the campaign over
+// (Done, or Err — in which case cancelRun stops the in-flight cells). A
+// failed renewal request is not retried in place: the next tick is the
+// retry, and a lease missing a beat or two still has two-thirds of a
+// TTL of slack.
+func startHeartbeat(ctx context.Context, client *http.Client, base, worker string, grant LeaseResponse, cancelRun context.CancelFunc) *heartbeat {
+	hb := &heartbeat{done: make(chan struct{})}
+	ttl := time.Duration(grant.DeadlineMS) * time.Millisecond
+	if ttl <= 0 {
+		ttl = 2 * time.Minute
+	}
+	interval := ttl / 3
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	go func() {
+		defer close(hb.done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+			}
+			var ack RenewResponse
+			if err := postJSON(ctx, client, base+"/v1/renew", RenewRequest{LeaseID: grant.LeaseID, Worker: worker}, &ack); err != nil {
+				var se *statusError
+				if errors.As(err, &se) && se.code < 500 {
+					// A coordinator that rejects /v1/renew outright
+					// (e.g. an older protocol surface) will never
+					// grant an extension: stop beating and fall back
+					// to the lease-expiry failure model.
+					return
+				}
+				continue
+			}
+			switch {
+			case ack.Err != "":
+				hb.campaignErr = fmt.Errorf("dist: campaign failed: %s", ack.Err)
+				cancelRun()
+				return
+			case ack.Done || ack.Expired:
+				return
+			default:
+				hb.renewals++
+			}
+		}
+	}()
+	return hb
 }
 
 // runLease executes one lease's cells on the session pool and packages
@@ -190,6 +325,58 @@ func runLease(ctx context.Context, session *experiments.Session, leased []Leased
 		results = append(results, ret)
 	}
 	return results
+}
+
+// statusError is a non-200 coordinator response. The status code drives
+// the retry policy: 5xx is transient, 4xx is a protocol error.
+type statusError struct {
+	code   int
+	status string
+	msg    string
+}
+
+func (e *statusError) Error() string { return fmt.Sprintf("%s: %s", e.status, e.msg) }
+
+// transientErr reports whether a request failure is worth retrying:
+// transport-level errors (refused connections, resets, truncated
+// bodies) and 5xx responses are; 4xx protocol rejections are not.
+func transientErr(err error) bool {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.code >= 500 || se.code == http.StatusTooManyRequests
+	}
+	return true
+}
+
+// retry runs call with bounded exponential backoff plus jitter on
+// transient failures. Non-transient errors, context cancellation and
+// retry-budget exhaustion return the last error; successful retries are
+// counted in stats.Retries.
+func retry(ctx context.Context, o WorkerOptions, stats *WorkerStats, call func() error) error {
+	delay := o.retryBase()
+	for attempt := 0; ; attempt++ {
+		err := call()
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil || !transientErr(err) || attempt >= o.maxRetries() {
+			return err
+		}
+		stats.Retries++
+		// Equal jitter: half the window fixed, half uniform random, so
+		// a fleet of workers knocked over together does not retry in
+		// lockstep.
+		sleep := delay/2 + rand.N(delay/2+1)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(sleep):
+		}
+		delay *= 2
+		if delay > o.retryMax() {
+			delay = o.retryMax()
+		}
+	}
 }
 
 func getJSON(ctx context.Context, client *http.Client, url string, out any) error {
@@ -221,7 +408,7 @@ func doJSON(client *http.Client, req *http.Request, out any) error {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
-		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(msg)))
+		return &statusError{code: resp.StatusCode, status: resp.Status, msg: strings.TrimSpace(string(msg))}
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
 }
