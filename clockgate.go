@@ -115,11 +115,34 @@
 // contention levels and interconnect shapes — as addressable case IDs
 // (see docs/E2E.md). Case IDs are append-only: the original 1–32
 // processor grid keeps M00001–M00432, the 48/64/96/128-processor scale
-// block is appended as M00433–M00720, and the banked-interconnect block
-// as M00721–M00752:
+// block is appended as M00433–M00720, the banked-interconnect block as
+// M00721–M00752, and the energy/EDP technology block as M00753–M00800:
 //
 //	sc, _ := clockgate.ScenarioByID("M00042")
 //	campaign, err := clockgate.RunScenarios(opts, []clockgate.Scenario{sc})
+//
+// # Energy technology axis and journal re-pricing
+//
+// The power model is a campaign axis, not a constant: a named
+// energy.Tech technology point (leakage share, TCC cache factor — pinned
+// or priced from the RW-bit tracking resolution by the cacti model —
+// miss activity, SRPG keep fraction) prices every cell's residency
+// ledgers. CampaignOptions.Tech and Cell.Tech select the point (""
+// means the paper's Table I model, DefaultTechName), TechByName /
+// TechNames list the registry, and the CSV carries per-state energy,
+// EDP and ED²P columns plus the tech name per row. Because a technology
+// point changes pricing but never timing, any checkpoint or fleet
+// journal can be re-emitted under other tech points without
+// re-simulating — pure checkpoint arithmetic, byte-identical to a fresh
+// simulated run under that tech (golden-pinned):
+//
+//	campaign, err := clockgate.Reprice("fleet.jsonl", "t45", "t65-srpg50")
+//	campaign.WriteCSV(os.Stdout)
+//
+// The CLI form is `experiments -reprice fleet.jsonl -tech t45,t65-srpg50`;
+// the energy/EDP matrix block (M00753–M00800) sweeps the same axis as
+// addressable cases, and docs/ENERGY.md specifies the model and the
+// re-pricing contract.
 //
 // # Interconnect models
 //
@@ -143,6 +166,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/energy"
 	"repro/internal/experiments"
 	"repro/internal/power"
 	"repro/internal/sim"
@@ -217,6 +241,36 @@ type PowerModel = power.Model
 // DefaultPowerModel returns the paper's Table I factors (Run 1.0,
 // Miss 0.32, Commit 0.44, Gated 0.20).
 func DefaultPowerModel() PowerModel { return power.Default() }
+
+// Tech is a named energy technology point: the bundle of power-model
+// parameters (leakage, TCC cache factor or cacti-priced RW-bit
+// resolution, miss activity, SRPG keep fraction) that prices a cell's
+// residency ledgers. See internal/energy and docs/ENERGY.md.
+type Tech = energy.Tech
+
+// DefaultTechName is the default technology point's name — the paper's
+// Table I model — which the empty Tech sentinel resolves to everywhere.
+const DefaultTechName = energy.DefaultName
+
+// TechByName resolves a registered technology point by name.
+func TechByName(name string) (Tech, bool) { return energy.ByName(name) }
+
+// TechNames returns every registered technology point name in canonical
+// order.
+func TechNames() []string { return energy.Names() }
+
+// Reprice streams a checkpoint or fleet journal and re-prices every
+// recorded cell under the given technology points — tech-major, records
+// in canonical order within each block — without re-simulating
+// anything: energy is a pure function of the journal's integer residency
+// totals and the tech's power model, so the result is byte-identical to
+// a fresh simulated run under each tech (pinned by the reprice golden).
+// With no techs given, records re-price under their own recorded tech
+// points, regenerating the journal's campaign output as-is. The CLI form
+// is `experiments -reprice journal.jsonl -tech name[,name...]`.
+func Reprice(journalPath string, techs ...string) (*Campaign, error) {
+	return experiments.RepriceFile(journalPath, techs)
+}
 
 // Experiment describes one paired (ungated vs gated) run.
 type Experiment struct {

@@ -9,15 +9,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/sim"
 	"repro/internal/stamp"
 )
@@ -139,6 +142,47 @@ func main() {
 		}
 		m["interconnect_scaling_128p"] = m["cell_128p_banks4_cells_per_sec"] /
 			m["cell_128p_banks1_cells_per_sec"]
+	}
+
+	// Re-pricing throughput: a small campaign is simulated once into a
+	// journal, then the journal's records re-price under a non-default
+	// technology point in memory. The acceptance floor is 10^4 cells/s —
+	// checkpoint arithmetic, orders of magnitude above simulation speed —
+	// so this metric doubles as the "reprice never simulates" tripwire.
+	{
+		dir, err := os.MkdirTemp("", "benchsnap-reprice")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		journal := filepath.Join(dir, "journal.jsonl")
+		o := experiments.Options{Seed: 42, Scale: 0.05, Processors: []int{8}}
+		s := experiments.NewSession(o)
+		if err := s.SetCheckpoint(journal); err != nil {
+			s.Close()
+			fatal(err)
+		}
+		if _, err := s.Run(context.Background()); err != nil {
+			s.Close()
+			fatal(err)
+		}
+		s.Close()
+		recs, err := experiments.ReadJournalFile(journal)
+		if err != nil {
+			fatal(err)
+		}
+		techs := []string{"t45", "t32", "t65-srpg50"}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Reprice(recs, techs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		cells := float64(len(recs) * len(techs))
+		m["reprice_cells_per_sec"] = cells / float64(r.NsPerOp()) * 1e9
+		m["reprice_cell_ns"] = float64(r.NsPerOp()) / cells
 	}
 
 	snap := snapshot{

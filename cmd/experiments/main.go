@@ -26,6 +26,12 @@
 //	    # works its own leases, so a fleet of one still makes progress
 //	experiments -status host:7400                    # one-shot fleet status
 //	    # snapshot (phase counts, per-worker counters, throughput, ETA)
+//	experiments -summary -tech t45      # price the campaign under another
+//	    # energy technology point (see -tech-list); timing is unchanged
+//	experiments -reprice j.jsonl -tech t45,t65-srpg50 -csv out.csv  # re-price
+//	    # a checkpoint/fleet journal under other tech points WITHOUT
+//	    # re-simulating: byte-identical to fresh runs under each tech
+//	experiments -tech-list              # list the technology points
 //
 // Every sweep runs on one clockgate session (worker pool + trace cache +
 // optional checkpoint sink); SIGINT/SIGTERM cancel the session's context,
@@ -51,6 +57,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/dist"
+	"repro/internal/energy"
 	"repro/internal/experiments"
 )
 
@@ -86,6 +93,9 @@ func main() {
 		selfWork   = flag.Bool("selfwork", false, "with -serve: also run an in-process worker, so a fleet of one makes progress without a separate -worker process")
 		steal      = flag.Int("steal", 8, "with -serve: once at most N unfinished cells remain and none are pending, re-lease the oldest in-flight cells to idle workers (straggler stealing; 0 disables)")
 		progress   = flag.Duration("progress", 30*time.Second, "with -serve: log a fleet progress line to stderr at this interval (0 disables)")
+		tech       = flag.String("tech", "", "energy technology point pricing the campaign's cells (see -tech-list; default: the paper's Table I point); with -reprice, a comma-separated list re-prices the journal under each point")
+		techList   = flag.Bool("tech-list", false, "list the registered energy technology points and their model derivations")
+		reprice    = flag.String("reprice", "", "re-price the cells of this checkpoint/fleet journal under -tech WITHOUT re-simulating (pure checkpoint arithmetic; combines with -detail/-summary/-csv)")
 	)
 	flag.Parse()
 
@@ -95,7 +105,8 @@ func main() {
 	}
 	if !(*table1 || *table2 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 ||
 		*summary || *detail || *ablation || *extended || *seeds > 0 || *csvPath != "" ||
-		*matrix != "" || *matrixList || *e2eDoc || *serve != "" || *worker != "" || *status != "") {
+		*matrix != "" || *matrixList || *e2eDoc || *serve != "" || *worker != "" || *status != "" ||
+		*techList || *reprice != "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -106,6 +117,12 @@ func main() {
 	}
 	if *matrixList {
 		fmt.Println(experiments.MatrixTable())
+		return
+	}
+	if *techList {
+		for _, t := range energy.Techs() {
+			fmt.Print(t.Describe())
+		}
 		return
 	}
 
@@ -160,6 +177,23 @@ func main() {
 	}
 	opts.Shard = shard
 
+	techs := parseTechs(*tech)
+	for _, name := range techs {
+		if _, err := energy.Resolve(name); err != nil {
+			fatal(err)
+		}
+	}
+	if *reprice == "" {
+		// Campaigns price every cell under one technology point; only the
+		// reprice mode fans a journal out across several.
+		if len(techs) > 1 {
+			fatal(fmt.Errorf("-tech with a list combines only with -reprice; a campaign prices under one technology point"))
+		}
+		if len(techs) == 1 {
+			opts.Tech = techs[0]
+		}
+	}
+
 	// One session runs every requested sweep: worker pool, trace cache
 	// and checkpoint sink are shared across them. SIGINT/SIGTERM cancel
 	// the context, which stops the simulators mid-run; with -resume the
@@ -200,6 +234,35 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *csvPath)
+	}
+
+	if *reprice != "" {
+		// Reprice mode: no simulation at all — the journal's residency
+		// totals are re-priced under each requested technology point, and
+		// the output is byte-identical to fresh simulated runs under them.
+		if *table1 || *table2 || *fig3 || *fig4 || *fig5 || *fig6 || *fig7 ||
+			*ablation || *extended || *seeds > 0 || *matrix != "" || *serve != "" {
+			fatal(fmt.Errorf("-reprice combines only with -tech/-detail/-summary/-csv"))
+		}
+		campaign, err := experiments.RepriceFile(*reprice, techs)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("Re-priced %s: %d rows", *reprice, len(campaign.Outcomes))
+		if len(techs) > 0 {
+			fmt.Printf(" (%d cells x %d tech points)", len(campaign.Outcomes)/len(techs), len(techs))
+		}
+		fmt.Println(", zero cells simulated")
+		if *detail {
+			fmt.Println(campaign.DetailTable())
+		}
+		if *summary {
+			fmt.Println(campaign.SummaryText())
+		}
+		if *csvPath != "" {
+			writeCSV(campaign)
+		}
+		return
 	}
 
 	if *serve != "" {
@@ -401,6 +464,19 @@ func parseProcs(arg string) ([]int, error) {
 		return nil, fmt.Errorf("-procs selected no processor counts")
 	}
 	return out, nil
+}
+
+// parseTechs parses "-tech t45,t65-srpg50" into a tech-name list; ""
+// means none (the default point for campaigns, as-recorded for
+// -reprice).
+func parseTechs(arg string) []string {
+	var out []string
+	for _, tok := range strings.Split(arg, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
 }
 
 // parseShard parses "-shard i/n" into a Shard; "" means unsharded.

@@ -7,13 +7,17 @@
 //	powermodel                 # Table I + derivation
 //	powermodel -fig3           # also print the Figure 3 curves
 //	powermodel -leakage 0.3    # what-if: different leakage share
+//	powermodel -keep 0.25      # SRPG: retain 25% of gated leakage
+//	powermodel -tech t45       # a registered technology point's derivation
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 
 	"repro/internal/cacti"
+	"repro/internal/energy"
 	"repro/internal/experiments"
 	"repro/internal/power"
 )
@@ -24,15 +28,35 @@ func main() {
 		leakage  = flag.Float64("leakage", 0.20, "leakage share of total power")
 		tccxf    = flag.Float64("tccfactor", 1.5, "TCC data cache power multiplier")
 		missAct  = flag.Float64("missactivity", 0.5, "cache activity during a miss relative to a hit")
+		keep     = flag.Float64("keep", 1.0, "SRPG keep fraction: share of leakage retained while gated, in [0,1]")
+		tech     = flag.String("tech", "", "derive a registered energy technology point instead of the flag-built breakdown (see -tech list)")
 		showSRPG = flag.Bool("srpg", false, "show state-retention power gating variants")
 	)
 	flag.Parse()
 
+	if *tech == "list" {
+		for _, tp := range energy.Techs() {
+			fmt.Println(tp.Describe())
+		}
+		return
+	}
+	if *tech != "" {
+		tp, err := energy.Resolve(*tech)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printTech(tp)
+		return
+	}
+
+	if *keep < 0 || *keep > 1 {
+		log.Fatalf("powermodel: -keep %g outside [0,1]", *keep)
+	}
 	b := power.DefaultBreakdown()
 	b.Leakage = *leakage
 	b.TCCCacheFactor = *tccxf
 	b.MissActivity = *missAct
-	m := power.Derive(b)
+	m := power.Derive(b).WithSRPG(*keep)
 
 	fmt.Println(experiments.TableI())
 	fmt.Println("Derivation with current flags:")
@@ -40,12 +64,13 @@ func main() {
 		b.Leakage, 1-b.Leakage, b.DataCache*b.TCCCacheFactor, b.IO, b.CacheIOClock, m.Commit)
 	fmt.Printf("  Miss   = %.2f + %.2f*%.2f*(%.3f + %.2f + %.2f) = %.3f\n",
 		b.Leakage, 1-b.Leakage, b.MissActivity, b.DataCache*b.TCCCacheFactor, b.IO, b.CacheIOClock, m.Miss)
-	fmt.Printf("  Gated  = leakage = %.3f\n", m.Gated)
+	fmt.Printf("  Gated  = leakage * keep = %.2f * %.2f = %.3f\n", b.Leakage, *keep, m.Gated)
 
 	if *showSRPG {
 		fmt.Println("\nState-retention power gating (paper §IV: leakage could be gated too):")
-		for _, keep := range []float64{1.0, 0.5, 0.25, 0.1} {
-			fmt.Printf("  retain %.0f%% leakage -> gated factor %.3f\n", keep*100, m.WithSRPG(keep).Gated)
+		base := power.Derive(b)
+		for _, k := range []float64{1.0, 0.5, 0.25, 0.1} {
+			fmt.Printf("  retain %.0f%% leakage -> gated factor %.3f\n", k*100, base.WithSRPG(k).Gated)
 		}
 	}
 
@@ -59,4 +84,21 @@ func main() {
 		fmt.Printf("  full TCC cache factor:   %.2fx (paper: conservatively 1.5x)\n",
 			cfg.TCCFactor(2, 64))
 	}
+}
+
+// printTech renders a registered technology point: its parameters, the
+// component breakdown they select, and the per-state power factors the
+// Table I derivation produces from it.
+func printTech(tp energy.Tech) {
+	fmt.Println(tp.Describe())
+	b := tp.Breakdown()
+	m := tp.Model()
+	fmt.Println("Derivation:")
+	fmt.Printf("  Commit = %.2f + %.2f*(%.3f + %.2f + %.2f) = %.3f\n",
+		b.Leakage, 1-b.Leakage, b.DataCache*b.TCCCacheFactor, b.IO, b.CacheIOClock, m.Commit)
+	fmt.Printf("  Miss   = %.2f + %.2f*%.2f*(%.3f + %.2f + %.2f) = %.3f\n",
+		b.Leakage, 1-b.Leakage, b.MissActivity, b.DataCache*b.TCCCacheFactor, b.IO, b.CacheIOClock, m.Miss)
+	fmt.Printf("  Gated  = leakage * keep = %.2f * %.2f = %.3f\n", b.Leakage, tp.Keep, m.Gated)
+	fmt.Printf("Factors: Run %.3f  Miss %.3f  Commit %.3f  Gated %.3f\n",
+		m.Run, m.Miss, m.Commit, m.Gated)
 }

@@ -1,0 +1,75 @@
+// Reprice: explore the energy technology axis without re-simulating.
+//
+// A small campaign (intruder + vacation at 8 cores) is simulated once
+// with a checkpoint journal attached. The journal records each cell's
+// integer residency totals, and energy is a pure function of those
+// totals and a technology point's power model — so the same journal then
+// re-prices under every registered technology point in milliseconds,
+// byte-identical to what a fresh simulation under that point would
+// report. This is the workflow behind `experiments -reprice`: simulate a
+// campaign once, sweep the technology axis for free.
+//
+//	go run ./examples/reprice
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	clockgate "repro"
+)
+
+func main() {
+	opts := clockgate.DefaultCampaignOptions()
+	opts.Apps = []clockgate.App{clockgate.Intruder, clockgate.Vacation}
+	opts.Processors = []int{8}
+	opts.Scale = 0.25
+
+	dir, err := os.MkdirTemp("", "reprice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	journal := filepath.Join(dir, "journal.jsonl")
+
+	session := clockgate.NewSession(opts)
+	defer session.Close()
+	if err := session.SetCheckpoint(journal); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("simulating the campaign once (journal attached)...")
+	start := time.Now()
+	if _, err := session.Run(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  simulated in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	fmt.Println("re-pricing the journal under every technology point (no simulation):")
+	fmt.Printf("  %-14s %-28s %-10s %-10s %-10s\n",
+		"tech", "cell", "E-ratio", "saved %", "EDP ratio")
+	for _, name := range clockgate.TechNames() {
+		start = time.Now()
+		campaign, err := clockgate.Reprice(journal, name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		for i, out := range campaign.Outcomes {
+			cmp := out.Comparison
+			edpRatio := (cmp.Eug * float64(cmp.N1)) / (cmp.Eg * float64(cmp.N2))
+			fmt.Printf("  %-14s %-28s %-10.3f %-10.1f %-10.3f\n",
+				name, campaign.Cells[i].Label(), cmp.EnergyRatio,
+				cmp.EnergySavings*100, edpRatio)
+		}
+		fmt.Printf("  %-14s re-priced %d cells in %v\n",
+			"", len(campaign.Outcomes), elapsed.Round(time.Microsecond))
+	}
+
+	fmt.Println("\nEach block above is byte-identical to a fresh simulated run under")
+	fmt.Println("that technology point — pinned by the done-set reprice golden.")
+}

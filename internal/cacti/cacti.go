@@ -44,6 +44,14 @@ func DefaultConfig() Config {
 	return Config{LineBytes: 64, FIFOEntries: 1024, FIFOBits: 10}
 }
 
+// ValidResolution reports whether resolutionBytes is a legal RW-bit
+// tracking resolution for this configuration: in (0, LineBytes]. The
+// pricing functions panic outside this range; callers that accept
+// user-supplied technology points (energy.Tech.Validate) check first.
+func (c Config) ValidResolution(resolutionBytes int) bool {
+	return resolutionBytes > 0 && resolutionBytes <= c.LineBytes
+}
+
 // rwBitsPerLine returns the number of extra state bits per line at the
 // given tracking resolution: one R and one W bit per tracked unit.
 func (c Config) rwBitsPerLine(resolutionBytes int) int {

@@ -1,0 +1,283 @@
+// Package energy makes the power model a first-class campaign axis: a
+// named technology point (Tech) bundles every knob the §IV/§VII energy
+// derivation consumes — leakage share, TCC data-cache overhead (either
+// pinned or priced from the RW-bit tracking resolution via the cacti
+// model), miss-mode cache activity, and the state-retention power-gating
+// (SRPG) retained-leakage fraction — behind a canonical name that cells,
+// scenarios, CSVs and checkpoints can carry.
+//
+// Because the simulator's timing never depends on the power model, a
+// technology point changes only how a run's residency ledger is priced.
+// That is what makes journal re-pricing sound: any checkpoint or fleet
+// journal carries the per-state residency totals, and re-evaluating them
+// under another Tech reproduces a fresh simulated run under that Tech
+// byte-for-byte without re-simulating (see experiments.Reprice).
+package energy
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"regexp"
+	"strings"
+
+	"repro/internal/cacti"
+	"repro/internal/power"
+)
+
+// DefaultName is the registry's default technology point: the paper's
+// Alpha 21264 @ 65 nm Table I model. The empty tech name everywhere in
+// the campaign surface (cells, scenarios, options) resolves to it, so
+// pre-energy-axis checkpoints and CSVs keep their meaning.
+const DefaultName = "t65"
+
+// Tech is one named technology point of the energy axis.
+type Tech struct {
+	// Name is the point's canonical name: lowercase letters, digits and
+	// dashes, as carried by cells, CSV rows and checkpoint keys.
+	Name string
+	// Note is a one-line description for listings.
+	Note string
+	// Leakage is the leakage share of total active power in [0, 1).
+	Leakage float64
+	// MissActivity is the cache dynamic activity during a miss relative
+	// to a hit, in [0, 1].
+	MissActivity float64
+	// Keep is the SRPG retained-leakage fraction in [0, 1]: the gated
+	// power factor is Leakage·Keep. 1 is the paper's plain clock gating
+	// (all leakage retained), smaller values model state-retention power
+	// gating of §IV.
+	Keep float64
+	// CacheFactor pins the TCC data-cache power multiplier directly
+	// (the paper's conservative 1.5). When zero, the multiplier is
+	// priced from ResolutionBytes/CacheKB by the cacti model instead.
+	CacheFactor float64
+	// ResolutionBytes is the speculative RW-bit tracking resolution the
+	// cacti pricing uses (2 = word tracking, the paper's design point).
+	ResolutionBytes int
+	// CacheKB is the L1 data-cache capacity the cacti pricing uses.
+	CacheKB int
+}
+
+var nameRE = regexp.MustCompile(`^[a-z0-9][a-z0-9-]*$`)
+
+// Validate checks every parameter range. A Tech that validates derives a
+// finite, positive power model.
+func (t Tech) Validate() error {
+	if !nameRE.MatchString(t.Name) {
+		return fmt.Errorf("energy: tech name %q must be lowercase [a-z0-9-], starting alphanumeric", t.Name)
+	}
+	if !(t.Leakage >= 0 && t.Leakage < 1) {
+		return fmt.Errorf("energy: tech %s: leakage %v out of [0, 1)", t.Name, t.Leakage)
+	}
+	if !(t.MissActivity >= 0 && t.MissActivity <= 1) {
+		return fmt.Errorf("energy: tech %s: miss activity %v out of [0, 1]", t.Name, t.MissActivity)
+	}
+	if !(t.Keep >= 0 && t.Keep <= 1) {
+		return fmt.Errorf("energy: tech %s: SRPG keep fraction %v out of [0, 1]", t.Name, t.Keep)
+	}
+	if t.CacheFactor != 0 && !(t.CacheFactor >= 1 && t.CacheFactor < 16) {
+		return fmt.Errorf("energy: tech %s: TCC cache factor %v out of [1, 16)", t.Name, t.CacheFactor)
+	}
+	cfg := cacti.DefaultConfig()
+	if !cfg.ValidResolution(t.ResolutionBytes) {
+		return fmt.Errorf("energy: tech %s: RW-bit resolution %d bytes out of (0, %d]",
+			t.Name, t.ResolutionBytes, cfg.LineBytes)
+	}
+	if t.CacheKB <= 0 || t.CacheKB > 1024 {
+		return fmt.Errorf("energy: tech %s: cache size %d KB out of (0, 1024]", t.Name, t.CacheKB)
+	}
+	return nil
+}
+
+// TCCCacheFactor returns the TCC data-cache power multiplier the model
+// derivation uses: the pinned CacheFactor when set, the cacti-priced
+// multiplier at (ResolutionBytes, CacheKB) otherwise.
+func (t Tech) TCCCacheFactor() float64 {
+	if t.CacheFactor != 0 {
+		return t.CacheFactor
+	}
+	return cacti.DefaultConfig().TCCFactor(t.ResolutionBytes, t.CacheKB)
+}
+
+// Breakdown returns the power.Breakdown this technology point derives its
+// model from: the paper's component shares with the tech's leakage, miss
+// activity and TCC cache factor substituted in.
+func (t Tech) Breakdown() power.Breakdown {
+	b := power.DefaultBreakdown()
+	b.Leakage = t.Leakage
+	b.MissActivity = t.MissActivity
+	b.TCCCacheFactor = t.TCCCacheFactor()
+	return b
+}
+
+// Model derives the per-state power factors of this technology point:
+// the Table I derivation over the tech's breakdown, with the SRPG keep
+// fraction applied to the gated state. The default point reproduces
+// power.Default() exactly.
+func (t Tech) Model() power.Model {
+	return power.Derive(t.Breakdown()).WithSRPG(t.Keep)
+}
+
+// Params renders the technology point's full parameter set in canonical
+// order — the string Fingerprint hashes and listings show.
+func (t Tech) Params() string {
+	priced := "pinned"
+	if t.CacheFactor == 0 {
+		priced = "cacti"
+	}
+	return fmt.Sprintf("leak=%g miss=%g keep=%g tcc=%.6g(%s) rw=%dB cache=%dKB",
+		t.Leakage, t.MissActivity, t.Keep, t.TCCCacheFactor(), priced, t.ResolutionBytes, t.CacheKB)
+}
+
+// Fingerprint identifies the technology point's parameters (not its
+// name): two points that price identically share a fingerprint. It is
+// the energy-axis analogue of Options.Fingerprint.
+func (t Tech) Fingerprint() string {
+	h := sha256.Sum256([]byte(t.Params()))
+	return hex.EncodeToString(h[:])[:12]
+}
+
+// Describe renders the point's derivation for CLI output: name, params,
+// fingerprint and the derived per-state factors.
+func (t Tech) Describe() string {
+	m := t.Model()
+	var b strings.Builder
+	fmt.Fprintf(&b, "tech %s (%s)\n", t.Name, t.Note)
+	fmt.Fprintf(&b, "  params:      %s\n", t.Params())
+	fmt.Fprintf(&b, "  fingerprint: %s\n", t.Fingerprint())
+	fmt.Fprintf(&b, "  model:       Run=%.3f Miss=%.3f Commit=%.3f Gated=%.3f\n",
+		m.Run, m.Miss, m.Commit, m.Gated)
+	return b.String()
+}
+
+// registry lists the built-in technology points in canonical order. The
+// set is closed and append-only for the same reason matrix case IDs are:
+// a name in a checkpoint or CSV must keep pricing the same way forever.
+var registry = []Tech{
+	{
+		Name:    DefaultName,
+		Note:    "Alpha 21264 @ 65 nm, paper Table I (TCC factor pinned at the conservative 1.5)",
+		Leakage: 0.20, MissActivity: 0.5, Keep: 1.0,
+		CacheFactor: 1.5, ResolutionBytes: 2, CacheKB: 64,
+	},
+	{
+		Name:    "t45",
+		Note:    "scaled 45 nm point: higher leakage share, cacti-priced word-tracking cache",
+		Leakage: 0.28, MissActivity: 0.5, Keep: 1.0,
+		ResolutionBytes: 2, CacheKB: 64,
+	},
+	{
+		Name:    "t32",
+		Note:    "scaled 32 nm point: leakage-dominated, doubled L1, cacti-priced",
+		Leakage: 0.36, MissActivity: 0.5, Keep: 1.0,
+		ResolutionBytes: 2, CacheKB: 128,
+	},
+	{
+		Name:    "t65-srpg50",
+		Note:    "65 nm with state-retention power gating retaining 50% leakage",
+		Leakage: 0.20, MissActivity: 0.5, Keep: 0.5,
+		CacheFactor: 1.5, ResolutionBytes: 2, CacheKB: 64,
+	},
+	{
+		Name:    "t65-srpg10",
+		Note:    "65 nm with aggressive SRPG retaining 10% leakage",
+		Leakage: 0.20, MissActivity: 0.5, Keep: 0.1,
+		CacheFactor: 1.5, ResolutionBytes: 2, CacheKB: 64,
+	},
+	{
+		Name:    "t65-byte",
+		Note:    "65 nm with byte-granularity RW tracking, cacti-priced",
+		Leakage: 0.20, MissActivity: 0.5, Keep: 1.0,
+		ResolutionBytes: 1, CacheKB: 64,
+	},
+}
+
+var byName = func() map[string]Tech {
+	m := make(map[string]Tech, len(registry))
+	for _, t := range registry {
+		if err := t.Validate(); err != nil {
+			panic(err)
+		}
+		if _, dup := m[t.Name]; dup {
+			panic("energy: duplicate tech name " + t.Name)
+		}
+		m[t.Name] = t
+	}
+	return m
+}()
+
+// Default returns the default technology point (the paper's Table I).
+func Default() Tech { return byName[DefaultName] }
+
+// ByName resolves a named technology point. The empty name does not
+// resolve here; use Resolve for the campaign surface's "" sentinel.
+func ByName(name string) (Tech, bool) {
+	t, ok := byName[name]
+	return t, ok
+}
+
+// Resolve resolves a campaign-surface tech name, mapping the empty
+// string to the default point.
+func Resolve(name string) (Tech, error) {
+	if name == "" {
+		return Default(), nil
+	}
+	t, ok := byName[name]
+	if !ok {
+		return Tech{}, fmt.Errorf("energy: unknown tech point %q (known: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return t, nil
+}
+
+// CanonicalName normalizes a campaign-surface tech name: the empty
+// string becomes DefaultName, anything else is returned as given. It
+// does not check existence; Resolve does.
+func CanonicalName(name string) string {
+	if name == "" {
+		return DefaultName
+	}
+	return name
+}
+
+// Techs returns every registered technology point in canonical order.
+func Techs() []Tech {
+	out := make([]Tech, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Names returns the registered tech names in canonical order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, t := range registry {
+		out[i] = t.Name
+	}
+	return out
+}
+
+// EDP returns the energy-delay product E·N and ED2P the energy-delay-
+// squared product E·N², in run-power-cycle units — the standard
+// figure-of-merit pair the CSV's edp/ed2p columns carry. Both are pure
+// functions of an (energy, cycles) pair, so fresh, restored and
+// re-priced results render identically.
+func EDP(e float64, cycles int64) float64 { return e * float64(cycles) }
+
+// ED2P returns the energy-delay-squared product E·N².
+func ED2P(e float64, cycles int64) float64 {
+	n := float64(cycles)
+	return e * n * n
+}
+
+// FiniteModel reports whether every factor of m is finite — the guard
+// property tests assert over the whole valid parameter space.
+func FiniteModel(m power.Model) bool {
+	for _, v := range []float64{m.Run, m.Miss, m.Commit, m.Gated} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/energy"
 )
 
 // The checkpoint sink persists per-cell results as JSONL so an
@@ -46,9 +47,15 @@ type checkpointHeader struct {
 // compute different timings. Banks=0 and Banks=1 stay distinct on
 // purpose: their cycle-equivalence is a tested property of the engine,
 // not an identity the persistence layer may assume.
+// Tech is also part of the key (normalized so "" and the default name
+// agree): two cells differing only in technology point record identical
+// timings but price to different energy columns, and replaying one as the
+// other would silently mislabel results. Re-pricing across techs is the
+// reprice engine's explicit job (reprice.go), not a key collision.
 func cellKey(c Cell) string {
-	return fmt.Sprintf("%s|%d|%d|%s|%s|%d|banks=%d",
-		c.App, c.Processors, c.effectiveW0(), c.contentionOrBase(), c.Variant, c.Seed, c.Banks)
+	return fmt.Sprintf("%s|%d|%d|%s|%s|%d|banks=%d|tech=%s",
+		c.App, c.Processors, c.effectiveW0(), c.contentionOrBase(), c.Variant, c.Seed, c.Banks,
+		energy.CanonicalName(c.Tech))
 }
 
 // Checkpoint is a JSONL result sink attached to a Session. It is safe for

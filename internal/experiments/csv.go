@@ -4,10 +4,13 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strings"
 
 	"repro/internal/bus"
+	"repro/internal/energy"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/tcc"
 )
 
@@ -17,23 +20,34 @@ import (
 // bank_* columns break utilization, queueing wait and grant rounds down
 // per bank (";"-joined, one value per bank; a single entry on the
 // unbanked bus) — the figure-grade data behind banked interconnect
-// studies. The trailing cell columns (w0, contention, seed, case,
-// banks) make sharded and matrix campaigns self-describing: a row
-// identifies its scenario without the Options that produced it. banks
-// is the interconnect shape (0 = the single split bus, 1+ = the banked
-// bus) and stays the last column: the interconnect differential golden
-// compares CSVs with exactly that final column stripped, since it
-// differs by construction between the two campaigns it runs.
+// studies. The energy block after the savings columns breaks the gated
+// run's energy down per residency state (eg_run..eg_gated sum to eg)
+// and renders the energy-delay figure-of-merit pair (EDP = E·N,
+// ED2P = E·N²) for both runs — all pure functions of the integer
+// residency totals and the cell's technology point, so fresh, restored
+// and re-priced rows render identically. Ratio columns whose
+// denominator degenerates to zero (empty ledgers) render "NA", never a
+// literal NaN. The trailing cell columns (w0, contention, seed, case,
+// tech, banks) make sharded and matrix campaigns self-describing: a row
+// identifies its scenario without the Options that produced it. tech is
+// the cell's energy technology point (normalized: the empty sentinel
+// renders as the default point's name). banks is the interconnect shape
+// (0 = the single split bus, 1+ = the banked bus) and stays the last
+// column: the interconnect differential golden compares CSVs with
+// exactly that final column stripped, since it differs by construction
+// between the two campaigns it runs.
 var csvHeader = []string{
 	"app", "processors", "n1_cycles", "n2_cycles", "speedup",
 	"eug", "eg", "energy_ratio", "power_ratio",
 	"energy_savings_pct", "power_savings_pct",
+	"eg_run", "eg_miss", "eg_commit", "eg_gated",
+	"edp_ug", "edp_g", "ed2p_ug", "ed2p_g",
 	"aborts_ungated", "aborts_gated", "validation_aborts_gated",
 	"gatings", "renewals", "ungates", "self_aborts",
 	"commits", "invalidations",
 	"bus_util", "bus_wait_cycles", "bus_rounds",
 	"bank_util", "bank_wait_cycles", "bank_rounds",
-	"w0", "contention", "seed", "case", "banks",
+	"w0", "contention", "seed", "case", "tech", "banks",
 }
 
 // WriteCSV exports the campaign's per-configuration metrics as CSV for
@@ -111,18 +125,31 @@ func (c *Campaign) writeCSV(w io.Writer, header bool) error {
 		// Cells is always index-aligned with Outcomes; a panic here
 		// means a campaign constructor broke that invariant.
 		cell := c.Cells[i]
+		tech, err := energy.Resolve(cell.Tech)
+		if err != nil {
+			return err
+		}
+		egs := tech.Model().EnergyByState(o.Gated.Ledger, 0, o.Gated.Cycles)
 		row := []string{
 			string(cell.App),
 			fmt.Sprintf("%d", cell.Processors),
 			fmt.Sprintf("%d", cmp.N1),
 			fmt.Sprintf("%d", cmp.N2),
-			fmt.Sprintf("%.6f", cmp.SpeedUp),
-			fmt.Sprintf("%.6g", cmp.Eug),
-			fmt.Sprintf("%.6g", cmp.Eg),
-			fmt.Sprintf("%.6f", cmp.EnergyRatio),
-			fmt.Sprintf("%.6f", cmp.AvgPowerRatio),
-			fmt.Sprintf("%.3f", cmp.EnergySavings*100),
-			fmt.Sprintf("%.3f", cmp.PowerSavings*100),
+			csvNum("%.6f", cmp.SpeedUp),
+			csvNum("%.6g", cmp.Eug),
+			csvNum("%.6g", cmp.Eg),
+			csvNum("%.6f", cmp.EnergyRatio),
+			csvNum("%.6f", cmp.AvgPowerRatio),
+			csvNum("%.3f", cmp.EnergySavings*100),
+			csvNum("%.3f", cmp.PowerSavings*100),
+			csvNum("%.6g", egs[stats.StateRun]),
+			csvNum("%.6g", egs[stats.StateMiss]),
+			csvNum("%.6g", egs[stats.StateCommit]),
+			csvNum("%.6g", egs[stats.StateGated]),
+			csvNum("%.6g", energy.EDP(cmp.Eug, int64(cmp.N1))),
+			csvNum("%.6g", energy.EDP(cmp.Eg, int64(cmp.N2))),
+			csvNum("%.6g", energy.ED2P(cmp.Eug, int64(cmp.N1))),
+			csvNum("%.6g", energy.ED2P(cmp.Eg, int64(cmp.N2))),
 			fmt.Sprintf("%d", ug.Aborts),
 			fmt.Sprintf("%d", g.Aborts),
 			fmt.Sprintf("%d", g.ValidationAborts),
@@ -142,6 +169,7 @@ func (c *Campaign) writeCSV(w io.Writer, header bool) error {
 			string(cell.contentionOrBase()),
 			fmt.Sprintf("%d", cell.Seed),
 			cell.ID,
+			energy.CanonicalName(cell.Tech),
 			fmt.Sprintf("%d", cell.Banks),
 		}
 		if err := cw.Write(row); err != nil {
@@ -150,6 +178,17 @@ func (c *Campaign) writeCSV(w io.Writer, header bool) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// csvNum renders a float column, turning the NaN/±Inf a degenerate
+// ratio produces (power.Compare's safeDiv over an empty ledger) into
+// the literal "NA" — a parseable missing-value marker instead of the
+// "NaN" that %.6f would print.
+func csvNum(format string, v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "NA"
+	}
+	return fmt.Sprintf(format, v)
 }
 
 // busUtil renders busy-cycles over elapsed wire-capacity cycles (the

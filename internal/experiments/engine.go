@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/energy"
 	"repro/internal/sim"
 	"repro/internal/stamp"
 	"repro/internal/workload"
@@ -49,6 +50,14 @@ type Cell struct {
 	// session's trace cache ignores it (and the checkpoint key must not:
 	// see cellKey).
 	Banks int
+	// Tech names the energy.Tech technology point that prices this cell's
+	// residency ledgers; empty means the default point (the paper's
+	// Table I model). Like Banks it is a machine-pricing axis, not a
+	// workload axis — but unlike Banks it does not even change timing, so
+	// both the trace cache AND the simulation ignore it entirely: only the
+	// pricing layer (core.RunSpec.Model) and the checkpoint key see it.
+	// That independence is what makes journal re-pricing sound.
+	Tech string
 	// Seed drives workload generation for this cell.
 	Seed uint64
 	// Variant optionally names a machine-config deviation (see
@@ -72,6 +81,9 @@ func (c Cell) Label() string {
 	}
 	if c.Banks > 0 {
 		s += fmt.Sprintf("/banks=%d", c.Banks)
+	}
+	if c.Tech != "" && c.Tech != energy.DefaultName {
+		s += "/tech=" + c.Tech
 	}
 	if c.Variant != "" {
 		s += "[" + c.Variant + "]"
@@ -149,6 +161,7 @@ func (o Options) Cells() []Cell {
 				W0:         o.W0,
 				Contention: ContentionBase,
 				Banks:      o.Banks,
+				Tech:       o.Tech,
 				Seed:       o.Seed,
 			}
 			if o.DeriveSeeds {

@@ -39,6 +39,13 @@ type Options struct {
 	// degenerated to one bank — cycle-identical to the single bus by the
 	// differential golden.
 	Banks int
+	// Tech names the energy.Tech technology point pricing every cell that
+	// does not pin its own (scenario-matrix energy cases do); empty means
+	// the default point, the paper's Table I model. Tech changes only how
+	// residency ledgers are priced into energy columns — never timing —
+	// so it shares traces with every other tech and is the axis the
+	// reprice engine sweeps without re-simulating.
+	Tech string
 	// Workers is the number of goroutines executing run-cells; 1 or
 	// fewer means sequential. Results are merged in canonical cell
 	// order, so every worker count produces byte-identical output.
@@ -289,6 +296,7 @@ func fig7Cells(o Options) []Cell {
 					W0:         w0,
 					Contention: ContentionBase,
 					Banks:      o.Banks,
+					Tech:       o.Tech,
 					Seed:       o.Seed,
 				})
 			}

@@ -22,7 +22,8 @@ import (
 // 1–32) keeps IDs M00001–M00432 forever; the 48–128-processor scale
 // extension is enumerated as a separate block appended after it
 // (M00433–M00720); the banked-interconnect block rides behind that
-// (M00721–M00752). Existing checkpoints, CSVs and docs keep meaning the
+// (M00721–M00752); the energy/EDP technology block behind that
+// (M00753–M00800). Existing checkpoints, CSVs and docs keep meaning the
 // same cases.
 
 // Contention adjusts a workload preset's conflict intensity around the
@@ -82,6 +83,15 @@ var (
 	MatrixBankedProcessors = []int{64, 128}
 	// MatrixBankedBanks is the block's interconnect axis.
 	MatrixBankedBanks = []int{4, 8}
+	// MatrixTechPoints is the technology axis of the energy/EDP block
+	// (M00753+): the non-default energy.Tech points the matrix sweeps.
+	// The default point needs no block of its own — every other case
+	// already prices under it.
+	MatrixTechPoints = []string{"t45", "t32", "t65-srpg50"}
+	// MatrixTechProcessors is the machine-width axis of the energy block:
+	// the paper's mid-size grid, where gating behavior is the
+	// best-characterized.
+	MatrixTechProcessors = []int{8, 16}
 )
 
 // matrixDefaultW0 is the gating window the paper evaluates; scenarios at
@@ -110,6 +120,10 @@ type Scenario struct {
 	// Banks is the interconnect shape: 0 for the single split bus (every
 	// case outside the banked block), a power of two for the banked bus.
 	Banks int
+	// Tech is the energy technology point pricing the case's ledgers:
+	// empty for the default point (every case outside the energy block),
+	// a registered energy.Tech name inside it.
+	Tech string
 }
 
 // Name returns the scenario's human-readable address, e.g.
@@ -119,11 +133,18 @@ func (s Scenario) Name() string {
 	if s.Banks > 0 {
 		n += fmt.Sprintf("/banks=%d", s.Banks)
 	}
+	if s.Tech != "" {
+		n += "/tech=" + s.Tech
+	}
 	return n
 }
 
 // Title returns the case-table title.
 func (s Scenario) Title() string {
+	if s.Tech != "" {
+		return fmt.Sprintf("%s on %d processor(s), W0=%d, %s contention, %s technology point: paired gated vs ungated run",
+			s.App, s.Processors, s.W0, s.Contention, s.Tech)
+	}
 	if s.Banks > 0 {
 		return fmt.Sprintf("%s on %d processor(s), W0=%d, %s contention, %d-banked interconnect: paired gated vs ungated run",
 			s.App, s.Processors, s.W0, s.Contention, s.Banks)
@@ -147,6 +168,8 @@ func isPaperNp(np int) bool { return np == 4 || np == 8 || np == 16 }
 // exercises beyond the paper's evaluation grid.
 func (s Scenario) Category() string {
 	switch {
+	case s.Tech != "":
+		return "energy"
 	case s.Banks > 0:
 		return "interconnect"
 	case s.Contention != ContentionBase:
@@ -170,6 +193,9 @@ func (s Scenario) Category() string {
 func (s Scenario) CheckPoint() string {
 	const counters = "gating-counter invariants (renewals=0 without gatings, self-aborts <= ungates)"
 	switch s.Category() {
+	case "energy":
+		return "paired run completes under a non-default technology point; energy columns finite; " + counters +
+			"; journal reprice byte-identity to fresh simulation pinned by the reprice golden"
 	case "interconnect":
 		return "paired run completes on the banked interconnect; metrics finite; " + counters +
 			"; Banks=1 cycle-equivalence to the single bus pinned by the differential golden"
@@ -209,6 +235,12 @@ func (s Scenario) Done() bool {
 	base := s.Contention == ContentionBase
 	defW0 := s.W0 == matrixDefaultW0
 	paper := isPaperApp(s.App)
+	if s.Tech != "" {
+		// Energy block: the paper apps prove out every technology point at
+		// both machine widths — the grid the reprice golden sweeps, so the
+		// done set covers every tech the golden re-prices against.
+		return paper
+	}
 	if s.Banks > 0 {
 		// Banked-interconnect block: the paper apps prove out 4 banks at
 		// 64 cores, and the high-conflict app runs the widest machine on
@@ -274,6 +306,7 @@ func (s Scenario) Cell(index int, campaignSeed uint64) Cell {
 		W0:         s.W0,
 		Contention: s.Contention,
 		Banks:      s.Banks,
+		Tech:       s.Tech,
 		Seed:       CellSeed(campaignSeed, s.Ord),
 	}
 }
@@ -329,6 +362,28 @@ func buildMatrix() {
 			}
 		}
 	}
+	// Energy/EDP technology block (M00753+): every app at the paper's
+	// mid-size machine widths under each non-default technology point —
+	// paper-default gating window, base contention, single bus. Only the
+	// pricing axis varies; timing is identical to the corresponding
+	// default-tech case, which is exactly what the reprice engine
+	// exploits.
+	for _, app := range stamp.AllApps() {
+		for _, np := range MatrixTechProcessors {
+			for _, tech := range MatrixTechPoints {
+				ord := len(matrixCache)
+				matrixCache = append(matrixCache, Scenario{
+					ID:         fmt.Sprintf("M%05d", ord+1),
+					Ord:        ord,
+					App:        app,
+					Processors: np,
+					W0:         matrixDefaultW0,
+					Contention: ContentionBase,
+					Tech:       tech,
+				})
+			}
+		}
+	}
 	matrixByID = make(map[string]Scenario, len(matrixCache))
 	matrixByName = make(map[string]Scenario, len(matrixCache))
 	for _, s := range matrixCache {
@@ -342,7 +397,8 @@ func buildMatrix() {
 // count, gating window and contention level), followed by the appended
 // 48–128 processor scale block in the same nesting, followed by the
 // banked-interconnect block (applications outer, then machine width and
-// bank count).
+// bank count), followed by the energy/EDP technology block (applications
+// outer, then machine width and technology point).
 func Matrix() []Scenario {
 	matrixOnce.Do(buildMatrix)
 	out := make([]Scenario, len(matrixCache))
@@ -397,6 +453,9 @@ func (o Options) ScenarioCells(scenarios []Scenario) []Cell {
 		cells[i] = sc.Cell(i, o.Seed)
 		if cells[i].Banks == 0 {
 			cells[i].Banks = o.Banks
+		}
+		if cells[i].Tech == "" {
+			cells[i].Tech = o.Tech
 		}
 	}
 	return cells
@@ -459,12 +518,14 @@ func E2EDoc() string {
 
 This table enumerates every scenario the streaming session engine can
 run: each STAMP preset at 1-128 processors, gating windows W0 of 2/8/32
-cycles, low/base/high workload contention, and (in the banked block) the
-address-interleaved banked interconnect at 4/8 banks. Case ids are
-append-only: the original 1-32 processor grid keeps M00001-M00432, the
-48/64/96/128-processor scale block is appended as M00433-M00720, and the
-banked-interconnect block as M00721-M00752, so existing checkpoints and
-CSVs keep naming the same cases. Every sweep — this matrix, the paper
+cycles, low/base/high workload contention, (in the banked block) the
+address-interleaved banked interconnect at 4/8 banks, and (in the energy
+block) the non-default energy technology points t45/t32/t65-srpg50. Case
+ids are append-only: the original 1-32 processor grid keeps
+M00001-M00432, the 48/64/96/128-processor scale block is appended as
+M00433-M00720, the banked-interconnect block as M00721-M00752, and the
+energy/EDP technology block as M00753-M00800, so existing checkpoints
+and CSVs keep naming the same cases. Every sweep — this matrix, the paper
 campaign, Fig7, multi-seed, the ablations — executes as run-cells on one
 clockgate.Session, which owns the worker pool, the per-workload trace
 cache, and the optional JSONL checkpoint sink behind -resume. Cases are

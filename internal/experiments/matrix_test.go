@@ -13,12 +13,13 @@ func TestMatrixShape(t *testing.T) {
 	m := Matrix()
 	perCombo := len(MatrixW0Values) * len(ContentionLevels())
 	want := len(stamp.AllApps())*(len(MatrixProcessors)+len(MatrixExtensionProcessors))*perCombo +
-		len(stamp.AllApps())*len(MatrixBankedProcessors)*len(MatrixBankedBanks)
+		len(stamp.AllApps())*len(MatrixBankedProcessors)*len(MatrixBankedBanks) +
+		len(stamp.AllApps())*len(MatrixTechProcessors)*len(MatrixTechPoints)
 	if len(m) != want {
 		t.Fatalf("%d scenarios, want %d", len(m), want)
 	}
-	if want != 752 {
-		t.Fatalf("matrix has %d addressable cases, want 752 (432 legacy + 288 scale extension + 32 banked)", want)
+	if want != 800 {
+		t.Fatalf("matrix has %d addressable cases, want 800 (432 legacy + 288 scale extension + 32 banked + 48 energy)", want)
 	}
 	ids := map[string]bool{}
 	names := map[string]bool{}
@@ -88,9 +89,30 @@ func TestLegacyIDsStable(t *testing.T) {
 	if s, ok := ScenarioByID("M00720"); !ok || s.Banks != 0 || s.Name() != "vacation/128p/W0=32/high" {
 		t.Errorf("M00720 = %q, want vacation/128p/W0=32/high with Banks=0", s.Name())
 	}
-	for _, s := range Matrix()[busOnly:] {
+	bankedEnd := busOnly + len(stamp.AllApps())*len(MatrixBankedProcessors)*len(MatrixBankedBanks)
+	for _, s := range Matrix()[busOnly:bankedEnd] {
 		if s.Banks == 0 {
 			t.Errorf("banked-block case %s has no bank count", s.ID)
+		}
+	}
+	// The energy block rides behind the banked block: everything up to
+	// M00752 keeps Tech="" (the PR-4 grid unchanged), the energy block
+	// starts at exactly M00753, and only it carries a technology point.
+	for _, s := range Matrix()[:bankedEnd] {
+		if s.Tech != "" {
+			t.Fatalf("technology point %q leaked into pre-energy block (%s)", s.Tech, s.ID)
+		}
+	}
+	if s, ok := ScenarioByID("M00752"); !ok || s.Tech != "" || s.Banks == 0 {
+		t.Errorf("M00752 = %+v, want the last banked case with no tech point", s)
+	}
+	tech, ok := ScenarioByID("M00753")
+	if !ok || tech.Tech == "" || tech.Ord != bankedEnd {
+		t.Errorf("energy block should start at M00753 (ord %d), got %+v", bankedEnd, tech)
+	}
+	for _, s := range Matrix()[bankedEnd:] {
+		if s.Tech == "" || s.Banks != 0 {
+			t.Errorf("energy-block case %s should carry a tech point and no bank count", s.ID)
 		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/energy"
 	"repro/internal/stamp"
 	"repro/internal/workload"
 )
@@ -105,9 +106,9 @@ func (o Options) Fingerprint() string {
 		w0 = matrixDefaultW0
 	}
 	h := sha256.New()
-	fmt.Fprintf(h, "seed=%d scale=%g w0=%d derive=%t shard=%d/%d apps=%v procs=%v banks=%d",
+	fmt.Fprintf(h, "seed=%d scale=%g w0=%d derive=%t shard=%d/%d apps=%v procs=%v banks=%d tech=%s",
 		o.Seed, scale, w0, o.DeriveSeeds, o.Shard.Index, o.Shard.Count,
-		o.apps(), o.processors(), o.Banks)
+		o.apps(), o.processors(), o.Banks, energy.CanonicalName(o.Tech))
 	return hex.EncodeToString(h.Sum(nil))[:16]
 }
 
@@ -284,10 +285,16 @@ func (s *Session) runCell(ctx context.Context, pos int, c Cell) CellResult {
 }
 
 // cellSpec builds the core.RunSpec for one cell: the trace from the
-// session cache and the machine-config mutation from the cell's
-// interconnect shape and variant.
+// session cache, the machine-config mutation from the cell's
+// interconnect shape and variant, and the power model from the cell's
+// technology point.
 func (s *Session) cellSpec(c Cell) (core.RunSpec, error) {
 	rs := core.RunSpec{App: c.App, Processors: c.Processors, Seed: c.Seed, W0: c.W0}
+	tech, err := energy.Resolve(c.Tech)
+	if err != nil {
+		return core.RunSpec{}, err
+	}
+	rs.Model = tech.Model()
 	configure, err := variantConfigure(c.Variant)
 	if err != nil {
 		return core.RunSpec{}, err

@@ -125,6 +125,19 @@ func (m Model) Energy(l *stats.Ledger, from, to sim.Time) float64 {
 	return e
 }
 
+// EnergyByState returns the per-state energy contributions over [from, to)
+// in run-power-cycle units — the breakdown the CSV's per-state energy
+// columns carry. Each entry is tot[s]·Factor(s), so the slice sums to
+// Energy over the same window.
+func (m Model) EnergyByState(l *stats.Ledger, from, to sim.Time) [stats.NumStates]float64 {
+	tot := l.TotalResidency(from, to)
+	var out [stats.NumStates]float64
+	for s := 0; s < stats.NumStates; s++ {
+		out[s] = float64(tot[s]) * m.Factor(stats.State(s))
+	}
+	return out
+}
+
 // PerProcEnergy returns each processor's energy over [from, to).
 func (m Model) PerProcEnergy(l *stats.Ledger, from, to sim.Time) []float64 {
 	res := l.Residency(from, to)
