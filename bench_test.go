@@ -13,6 +13,7 @@
 package clockgate
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -299,6 +300,30 @@ func BenchmarkEngineHotPath(b *testing.B) {
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cells/s")
 		})
 	}
+}
+
+// BenchmarkEngineHotPathReuse is the same paired 32p cell on a reused
+// System — the session pool workers' steady state: one warm SystemCache
+// carried across the stream, every run a Reset in place instead of a
+// rebuild. The gap to EngineHotPath/np32 is pure construction and GC
+// (the simulation itself is allocation-free either way; the reuse path
+// measures ~142 allocations per paired cell, the ledger and Result).
+// cmd/benchsnap records both lanes (cell_32p_* and cell_32p_reuse_*) in
+// BENCH_engine.json on every CI run.
+func BenchmarkEngineHotPathReuse(b *testing.B) {
+	rs := benchSpec(b, stamp.Intruder, 32, 0)
+	sc := &core.SystemCache{}
+	if _, err := core.RunPairCached(context.Background(), rs, sc); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunPairCached(context.Background(), rs, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cells/s")
 }
 
 // interconnectScalingOccupancy is the per-message bus hold time of the

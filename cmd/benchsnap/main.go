@@ -103,6 +103,26 @@ func main() {
 		m["cell_32p_cells_per_sec"] = 1e9 / float64(r.NsPerOp())
 		m["cell_32p_allocs"] = float64(r.AllocsPerOp())
 		m["cell_32p_bytes"] = float64(r.AllocedBytesPerOp())
+
+		// The same cell on a reused System — the session pool workers'
+		// steady state: one warm SystemCache carried across the whole
+		// stream, runs reset in place instead of rebuilt.
+		sc := &core.SystemCache{}
+		if _, err := core.RunPairCached(context.Background(), rs, sc); err != nil {
+			fatal(err)
+		}
+		r = testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RunPairCached(context.Background(), rs, sc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		m["cell_32p_reuse_ns"] = float64(r.NsPerOp())
+		m["cell_32p_reuse_cells_per_sec"] = 1e9 / float64(r.NsPerOp())
+		m["cell_32p_reuse_allocs"] = float64(r.AllocsPerOp())
+		m["cell_32p_reuse_bytes"] = float64(r.AllocedBytesPerOp())
 	}
 
 	// Interconnect scaling: the same 128-processor paired cell on the

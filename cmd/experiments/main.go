@@ -31,6 +31,8 @@
 //	experiments -reprice j.jsonl -tech t45,t65-srpg50 -csv out.csv  # re-price
 //	    # a checkpoint/fleet journal under other tech points WITHOUT
 //	    # re-simulating: byte-identical to fresh runs under each tech
+//	experiments -summary -tech @my.json # price under a user-defined tech
+//	    # point loaded from JSON (one object or an array; see energy.Tech)
 //	experiments -tech-list              # list the technology points
 //
 // Every sweep runs on one clockgate session (worker pool + trace cache +
@@ -93,7 +95,7 @@ func main() {
 		selfWork   = flag.Bool("selfwork", false, "with -serve: also run an in-process worker, so a fleet of one makes progress without a separate -worker process")
 		steal      = flag.Int("steal", 8, "with -serve: once at most N unfinished cells remain and none are pending, re-lease the oldest in-flight cells to idle workers (straggler stealing; 0 disables)")
 		progress   = flag.Duration("progress", 30*time.Second, "with -serve: log a fleet progress line to stderr at this interval (0 disables)")
-		tech       = flag.String("tech", "", "energy technology point pricing the campaign's cells (see -tech-list; default: the paper's Table I point); with -reprice, a comma-separated list re-prices the journal under each point")
+		tech       = flag.String("tech", "", "energy technology point pricing the campaign's cells (see -tech-list; default: the paper's Table I point); with -reprice, a comma-separated list re-prices the journal under each point; \"@file.json\" elements load user-defined points from a JSON file")
 		techList   = flag.Bool("tech-list", false, "list the registered energy technology points and their model derivations")
 		reprice    = flag.String("reprice", "", "re-price the cells of this checkpoint/fleet journal under -tech WITHOUT re-simulating (pure checkpoint arithmetic; combines with -detail/-summary/-csv)")
 	)
@@ -177,7 +179,10 @@ func main() {
 	}
 	opts.Shard = shard
 
-	techs := parseTechs(*tech)
+	techs, err := parseTechs(*tech)
+	if err != nil {
+		fatal(err)
+	}
 	for _, name := range techs {
 		if _, err := energy.Resolve(name); err != nil {
 			fatal(err)
@@ -468,15 +473,30 @@ func parseProcs(arg string) ([]int, error) {
 
 // parseTechs parses "-tech t45,t65-srpg50" into a tech-name list; ""
 // means none (the default point for campaigns, as-recorded for
-// -reprice).
-func parseTechs(arg string) []string {
+// -reprice). An "@file.json" element loads user-defined points from the
+// file (energy.LoadFile) and expands to their names in file order, so
+// "-tech @points.json" prices a campaign under a custom point and
+// "-tech t65,@points.json -reprice j.jsonl" fans a journal out across
+// built-in and loaded points alike.
+func parseTechs(arg string) ([]string, error) {
 	var out []string
 	for _, tok := range strings.Split(arg, ",") {
-		if tok = strings.TrimSpace(tok); tok != "" {
+		tok = strings.TrimSpace(tok)
+		switch {
+		case tok == "":
+		case strings.HasPrefix(tok, "@"):
+			loaded, err := energy.LoadFile(strings.TrimPrefix(tok, "@"))
+			if err != nil {
+				return nil, err
+			}
+			for _, tp := range loaded {
+				out = append(out, tp.Name)
+			}
+		default:
 			out = append(out, tok)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // parseShard parses "-shard i/n" into a Shard; "" means unsharded.

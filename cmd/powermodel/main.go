@@ -9,12 +9,14 @@
 //	powermodel -leakage 0.3    # what-if: different leakage share
 //	powermodel -keep 0.25      # SRPG: retain 25% of gated leakage
 //	powermodel -tech t45       # a registered technology point's derivation
+//	powermodel -tech @my.json  # derive user-defined points from a JSON file
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 
 	"repro/internal/cacti"
 	"repro/internal/energy"
@@ -29,7 +31,7 @@ func main() {
 		tccxf    = flag.Float64("tccfactor", 1.5, "TCC data cache power multiplier")
 		missAct  = flag.Float64("missactivity", 0.5, "cache activity during a miss relative to a hit")
 		keep     = flag.Float64("keep", 1.0, "SRPG keep fraction: share of leakage retained while gated, in [0,1]")
-		tech     = flag.String("tech", "", "derive a registered energy technology point instead of the flag-built breakdown (see -tech list)")
+		tech     = flag.String("tech", "", "derive a registered energy technology point instead of the flag-built breakdown (see -tech list); \"@file.json\" derives every user-defined point in the file")
 		showSRPG = flag.Bool("srpg", false, "show state-retention power gating variants")
 	)
 	flag.Parse()
@@ -37,6 +39,18 @@ func main() {
 	if *tech == "list" {
 		for _, tp := range energy.Techs() {
 			fmt.Println(tp.Describe())
+		}
+		return
+	}
+	if name, ok := strings.CutPrefix(*tech, "@"); ok {
+		// User-defined points: load, validate and fingerprint them like
+		// registry points, then print each derivation.
+		loaded, err := energy.LoadFile(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, tp := range loaded {
+			printTech(tp)
 		}
 		return
 	}

@@ -85,6 +85,26 @@ func NewInterconnect(eng *sim.Engine, occupancy sim.Time, banks int) Interconnec
 	return NewBanked(eng, occupancy, banks)
 }
 
+// Reset implements Interconnect: every bank's queues empty, wires free,
+// stats zeroed, and the delivery pump disarmed with its round-robin
+// cursor rewound. Ring storage and the pre-bound round callbacks are
+// retained. The owning engine must be reset alongside.
+func (b *BankedBus) Reset() {
+	for i := range b.banks {
+		bk := &b.banks[i]
+		bk.nextFree = 0
+		bk.stats = Stats{}
+		bk.reqs.Clear()
+		bk.dels.Clear()
+		bk.roundPending = false
+	}
+	b.delPending = false
+	b.pumpAt = 0
+	b.pumpRef = sim.EventRef{}
+	b.rr = 0
+	b.dueScratch = b.dueScratch[:0]
+}
+
 // Occupancy returns the per-message hold time of one bank.
 func (b *BankedBus) Occupancy() sim.Time { return b.occupancy }
 

@@ -55,6 +55,11 @@ type Interconnect interface {
 	// Utilization returns busy-cycles over elapsed wire-capacity cycles
 	// (elapsed time times bank count) at the current time.
 	Utilization() float64
+	// Reset returns the interconnect to its initial state — empty
+	// queues, free wires, zeroed counters — keeping allocated storage.
+	// The owning engine must be reset first (or alongside): pending
+	// grant/delivery events are assumed already discarded.
+	Reset()
 }
 
 // BankOf maps an interleave key onto a bank. Lines interleave by line
@@ -119,6 +124,18 @@ func New(eng *sim.Engine, occupancy sim.Time) *Bus {
 	b.roundFn = b.grantRound
 	b.deliverFn = b.deliverHead
 	return b
+}
+
+// Reset implements Interconnect: empty queues, free wires, zero stats.
+// The ring buffers behind the request and delivery queues are retained,
+// so a reset bus arbitrates without re-growing them.
+func (b *Bus) Reset() {
+	b.nextFree = 0
+	b.stats = Stats{}
+	b.reqs.Clear()
+	b.dels.Clear()
+	b.roundPending = false
+	b.delPending = false
 }
 
 // Occupancy returns the per-message hold time.

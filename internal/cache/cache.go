@@ -54,6 +54,9 @@ type Cache struct {
 	stats    Stats
 	specRead map[mem.LineAddr]struct{} // read-set (SR lines), for fast enumeration
 	specMod  map[mem.LineAddr]struct{} // write-set (SM lines)
+	// dropScratch backs ClearSpeculative's return slice, reused across
+	// calls so per-abort reporting is allocation-free in steady state.
+	dropScratch []mem.LineAddr
 }
 
 // Config describes a cache shape.
@@ -247,24 +250,53 @@ func (c *Cache) WriteSetSize() int { return len(c.specMod) }
 // the write-set: the lines' data is stale so they are also invalidated, as
 // TCC buffers new values in place) and on commit (keeping the data: lines
 // stay valid, bits clear). It returns the lines dropped from the cache
-// (non-nil only on abort), so the owner can discard their version
-// bookkeeping.
+// (non-empty only on abort), so the owner can discard their version
+// bookkeeping; the slice is reused scratch, valid only until the next call.
+//
+// Only the lines in the speculative sets are visited — the sets mirror the
+// SR/SM bits exactly — so the cost scales with the transaction footprint,
+// not the cache size, and the set maps are cleared in place rather than
+// reallocated. The returned order follows map iteration: its only consumer
+// deletes version entries, which is order-independent, so determinism is
+// unaffected.
 func (c *Cache) ClearSpeculative(abort bool) (dropped []mem.LineAddr) {
-	for i := range c.lines {
-		ln := &c.lines[i]
-		if !ln.valid {
-			continue
+	if abort {
+		dropped = c.dropScratch[:0]
+		for l := range c.specMod {
+			if ln := c.find(l); ln != nil {
+				ln.valid = false // speculative data never became architectural
+				ln.sr, ln.sm = false, false
+				dropped = append(dropped, l)
+			}
 		}
-		if abort && ln.sm {
-			ln.valid = false // speculative data never became architectural
-			dropped = append(dropped, ln.tag)
+		c.dropScratch = dropped
+	} else {
+		for l := range c.specMod {
+			if ln := c.find(l); ln != nil {
+				ln.sm = false
+			}
 		}
-		ln.sr = false
-		ln.sm = false
 	}
-	c.specRead = make(map[mem.LineAddr]struct{})
-	c.specMod = make(map[mem.LineAddr]struct{})
+	for l := range c.specRead {
+		if ln := c.find(l); ln != nil {
+			ln.sr = false
+		}
+	}
+	clear(c.specRead)
+	clear(c.specMod)
 	return dropped
+}
+
+// Reset returns the cache to its post-construction state — every line
+// invalid, LRU clock at zero, counters and speculative sets cleared —
+// keeping the line array, the set maps' storage, and the drop scratch, so
+// a reused cache warms up without reallocating.
+func (c *Cache) Reset() {
+	clear(c.lines)
+	c.tick = 0
+	c.stats = Stats{}
+	clear(c.specRead)
+	clear(c.specMod)
 }
 
 // Invalidate drops the line if present (coherence invalidation from a

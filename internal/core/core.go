@@ -6,6 +6,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/config"
@@ -118,6 +119,22 @@ func runOne(ctx context.Context, rs RunSpec, gated bool, rec *trace.Recorder) (*
 	return sys.Run()
 }
 
+// SystemCache holds one constructed tcc.System for reuse across a stream
+// of runs with the same machine shape. A cache belongs to exactly one
+// worker goroutine — it is not safe for concurrent use — and caches the
+// last shape it saw: a run on a matching shape resets the held System in
+// place (allocation-free, bit-identical to fresh construction by the
+// System.Reset contract); a shape change rebuilds and the new System takes
+// the slot. The zero value is ready to use.
+type SystemCache struct {
+	sys *tcc.System
+	// Reuses counts runs served by an in-place Reset of the held System.
+	Reuses uint64
+	// Rebuilds counts runs that constructed a fresh System (first use and
+	// every shape change).
+	Rebuilds uint64
+}
+
 // RunPair executes the spec twice on the identical trace — ungated
 // baseline and gated — and compares them with the paper's energy model.
 func RunPair(rs RunSpec) (*Outcome, error) {
@@ -129,6 +146,15 @@ func RunPair(rs RunSpec) (*Outcome, error) {
 // simulation, so a canceled campaign stops mid-run instead of finishing
 // the cell. A run that is not canceled is byte-identical to RunPair.
 func RunPairCtx(ctx context.Context, rs RunSpec) (*Outcome, error) {
+	return RunPairCached(ctx, rs, nil)
+}
+
+// RunPairCached is RunPairCtx with an optional per-worker System cache:
+// both runs of the pair (and every later pair of the same machine shape)
+// execute on one reused System instead of constructing a fresh machine
+// per run. A nil cache selects fresh construction — the exact RunPairCtx
+// behavior — and results are byte-identical either way.
+func RunPairCached(ctx context.Context, rs RunSpec, sc *SystemCache) (*Outcome, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -138,14 +164,14 @@ func RunPairCtx(ctx context.Context, rs RunSpec) (*Outcome, error) {
 	}
 	rs.Trace = tr // pin the trace so both runs share it exactly
 
-	ungated, err := runWith(ctx, rs, false, tr)
+	ungated, err := runWith(ctx, rs, false, tr, sc)
 	if err != nil {
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
 		return nil, fmt.Errorf("core: ungated run: %w", err)
 	}
-	gated, err := runWith(ctx, rs, true, tr)
+	gated, err := runWith(ctx, rs, true, tr, sc)
 	if err != nil {
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
@@ -160,10 +186,27 @@ func RunPairCtx(ctx context.Context, rs RunSpec) (*Outcome, error) {
 	}, nil
 }
 
-func runWith(ctx context.Context, rs RunSpec, gated bool, tr *workload.Trace) (*tcc.Result, error) {
-	sys, err := tcc.NewSystem(rs.config(gated), tr)
+func runWith(ctx context.Context, rs RunSpec, gated bool, tr *workload.Trace, sc *SystemCache) (*tcc.Result, error) {
+	cfg := rs.config(gated)
+	if sc != nil && sc.sys != nil {
+		switch err := sc.sys.Reset(cfg, tr); {
+		case err == nil:
+			sc.Reuses++
+			sc.sys.SetCancel(cancelHook(ctx))
+			return sc.sys.Run()
+		case !errors.Is(err, tcc.ErrShapeChange):
+			// Invalid config or trace: fresh construction would fail the
+			// same validation, so surface the error directly.
+			return nil, err
+		}
+	}
+	sys, err := tcc.NewSystem(cfg, tr)
 	if err != nil {
 		return nil, err
+	}
+	if sc != nil {
+		sc.sys = sys
+		sc.Rebuilds++
 	}
 	sys.SetCancel(cancelHook(ctx))
 	return sys.Run()

@@ -69,12 +69,52 @@ type ProcessorPort interface {
 // The version counts commits of the line; processors record the version
 // they read and the commit-time validation phase compares against it —
 // the mechanism that makes TCC's lazy conflict detection serializable.
+//
+// The epoch stamps which run of a reused directory the state belongs to:
+// a lookup that finds an entry from an earlier epoch treats it as absent
+// and reinitializes it in place, which lets Reset invalidate the whole
+// line table in O(1) instead of clearing a map that can hold a run's
+// entire footprint.
 type lineState struct {
 	owner   int
 	sharers ProcSet
 	version uint64
 	lastTID tokens.TID
+	epoch   uint64
 }
+
+// arenaChunk is the lineState allocation batch. Chunked allocation keeps
+// every previously handed-out pointer stable (the lines map stores
+// pointers across runs) while amortizing one heap allocation over many
+// lines.
+const arenaChunk = 1024
+
+// retainedLinesMax bounds the line table carried across Reset. A stream
+// of cells with disjoint footprints would otherwise grow the map without
+// bound; above the limit Reset rebuilds the table and rewinds the arena.
+const retainedLinesMax = 1 << 20
+
+// lineArena allocates lineStates in chunks. reset rewinds it for reuse —
+// only valid together with dropping every map that points into it.
+type lineArena struct {
+	chunks [][]lineState
+	ci, li int // next free chunk / index within it
+}
+
+func (a *lineArena) alloc() *lineState {
+	if a.ci == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]lineState, arenaChunk))
+	}
+	c := a.chunks[a.ci]
+	ls := &c[a.li]
+	if a.li++; a.li == len(c) {
+		a.ci++
+		a.li = 0
+	}
+	return ls
+}
+
+func (a *lineArena) reset() { a.ci, a.li = 0, 0 }
 
 // gateEntry is one row of the paper's Fig. 1 table.
 type gateEntry struct {
@@ -88,6 +128,20 @@ type gateEntry struct {
 	// episode guards against stale timer and TxInfo-reply events after
 	// the entry has been cleared or re-armed.
 	episode uint64
+	// timerFn is the pre-bound expiry callback; timerEp is the episode it
+	// fires for. One stored episode is exact because at most one timer
+	// event is ever live per entry: armTimer and disarm cancel the old
+	// event before timerEp is overwritten, so the live event always reads
+	// the episode it was scheduled with. (The control-circuit evaluation
+	// that follows expiry has no such single-flight guarantee — a disarm
+	// plus re-gate can leave a stale evaluation in flight alongside a new
+	// one — so evaluations are pooled ops that carry their own episode.)
+	timerFn func()
+	timerEp uint64
+	// onFn is the pre-bound On delivery (sendOn's bus crossing). It reads
+	// no per-episode state, so one shared instance serves any number of
+	// in-flight deliveries.
+	onFn func()
 }
 
 // Stats counts one directory's activity.
@@ -126,7 +180,11 @@ type Directory struct {
 	procs    []ProcessorPort
 	counters *stats.Counters
 
+	// lines maps a line to its arena-backed state. Entries survive Reset
+	// (bounded by retainedLinesMax); the epoch stamp decides liveness.
 	lines       map[mem.LineAddr]*lineState
+	arena       lineArena
+	epoch       uint64
 	nextFreeDir sim.Time // directory pipeline availability
 	nextFreeMem sim.Time // local memory port availability (single R/W port)
 
@@ -146,14 +204,18 @@ type Directory struct {
 	commitDone  func()
 	commitFn    func()
 
-	marked map[int]tokens.TID // commit requests with timestamps, by processor
-	// announced holds the "Marked" bits of Fig. 2(e): Scalable TCC
-	// communicates store addresses to home directories eagerly during
-	// execution, so a processor is "present" in a directory from its
-	// first speculative store homed here until the transaction commits
-	// or aborts — not just while it commits. The renewal check of the
-	// un-gate circuit tests this set.
-	announced map[int]bool
+	// marked holds commit-request timestamps indexed by processor id;
+	// TIDNone means no request (real TIDs start at 1). Flat storage
+	// replaces a per-run map: the scans in Head and HasOlderMark walk
+	// Processors entries either way, and clearing is a memset.
+	marked []tokens.TID
+	// announced holds the "Marked" bits of Fig. 2(e), indexed by
+	// processor id: Scalable TCC communicates store addresses to home
+	// directories eagerly during execution, so a processor is "present"
+	// in a directory from its first speculative store homed here until
+	// the transaction commits or aborts — not just while it commits. The
+	// renewal check of the un-gate circuit tests this set.
+	announced []bool
 	writer    int // processor currently committing here, or -1
 
 	gate []gateEntry
@@ -165,11 +227,23 @@ type Directory struct {
 	// rec, when non-nil, receives structured protocol events.
 	rec *trace.Recorder
 
+	// ctlBank is the bank gating control traffic interleaves on: control
+	// messages have no line address, so they ride the issuing directory's
+	// id.
+	ctlBank int
+
 	// replyFree pools the read-reply bus crossings, so the miss hot
 	// path sends data back without allocating a closure per read (the
 	// requester side pools its halves of the round trip the same way —
-	// see tcc's missOp).
+	// see tcc's missOp). invFree, evalFree and txFree pool the other
+	// per-event protocol crossings — invalidation deliveries, gating
+	// control-circuit evaluations and TxInfo round trips — which in
+	// high-conflict workloads outnumber everything else. All four pools
+	// survive Reset.
 	replyFree []*replyOp
+	invFree   []*invOp
+	evalFree  []*evalOp
+	txFree    []*txInfoOp
 
 	stats Stats
 }
@@ -204,6 +278,132 @@ func (d *Directory) replyDelivered(r *replyOp) {
 	reply(v)
 }
 
+// invOp is one pooled invalidation delivery: a committed line crossing
+// the bus to kill a sharer's copy (and possibly its transaction).
+type invOp struct {
+	d         *Directory
+	victim    int
+	committer int
+	line      mem.LineAddr
+	fn        func()
+}
+
+func (d *Directory) getInv() *invOp {
+	if n := len(d.invFree); n > 0 {
+		op := d.invFree[n-1]
+		d.invFree = d.invFree[:n-1]
+		return op
+	}
+	op := &invOp{d: d}
+	op.fn = func() { op.d.invDelivered(op) }
+	return op
+}
+
+// invDelivered lands a pooled invalidation at its victim. The op returns
+// to the pool first: the abort it may trigger can commit another line of
+// the same walk, which is then free to reuse it.
+func (d *Directory) invDelivered(op *invOp) {
+	v, committer, l := op.victim, op.committer, op.line
+	d.invFree = append(d.invFree, op)
+	d.rec.Record(trace.Event{At: d.eng.Now(), Kind: trace.EvInvalidate,
+		Proc: v, Other: committer, Dir: d.id, Line: l})
+	aborted := d.procs[v].DeliverInvalidation(l, committer, d.id)
+	if aborted {
+		d.counters.Aborts++
+		d.rec.Record(trace.Event{At: d.eng.Now(), Kind: trace.EvAbort,
+			Proc: v, Other: committer, Dir: d.id, Line: l})
+		if d.gcfg.Enabled {
+			d.gateVictim(v, committer)
+		}
+	}
+}
+
+// evalOp is one pooled control-circuit evaluation: the Fig. 2(e) decision
+// delayed by ControlCircuitCycles after a timer expiry. Evaluations carry
+// their own episode because they cannot be cancelled: a disarm (via
+// noteProcessorAlive) followed by a fresh gating episode can leave a
+// stale evaluation in flight next to the new episode's own, and only the
+// episode captured at scheduling time tells them apart.
+type evalOp struct {
+	d      *Directory
+	victim int
+	ep     uint64
+	fn     func()
+}
+
+func (d *Directory) getEval() *evalOp {
+	if n := len(d.evalFree); n > 0 {
+		op := d.evalFree[n-1]
+		d.evalFree = d.evalFree[:n-1]
+		return op
+	}
+	op := &evalOp{d: d}
+	op.fn = func() { op.d.evalFired(op) }
+	return op
+}
+
+func (d *Directory) evalFired(op *evalOp) {
+	victim, ep := op.victim, op.ep
+	d.evalFree = append(d.evalFree, op)
+	g := &d.gate[victim]
+	if g.episode != ep || !g.off {
+		return
+	}
+	d.evaluateUngate(victim, g, ep)
+}
+
+// txInfoOp is one pooled TxInfo round trip of the renewal check: the
+// request crossing the bus to the aborter, and the reply carrying its
+// current transaction id back.
+type txInfoOp struct {
+	d       *Directory
+	victim  int
+	aborter int
+	ep      uint64
+	pc      uint64
+	ok      bool
+	reqFn   func()
+	repFn   func()
+}
+
+func (d *Directory) getTxInfo() *txInfoOp {
+	if n := len(d.txFree); n > 0 {
+		op := d.txFree[n-1]
+		d.txFree = d.txFree[:n-1]
+		return op
+	}
+	op := &txInfoOp{d: d}
+	op.reqFn = func() {
+		op.pc, op.ok = op.d.procs[op.aborter].TxInfo()
+		op.d.bus.Send(op.d.ctlBank, op.repFn)
+	}
+	op.repFn = func() { op.d.txInfoDelivered(op) }
+	return op
+}
+
+func (d *Directory) txInfoDelivered(op *txInfoOp) {
+	victim, ep, pc, ok := op.victim, op.ep, op.pc, op.ok
+	d.txFree = append(d.txFree, op)
+	g := &d.gate[victim]
+	if g.episode != ep || !g.off {
+		return
+	}
+	if !ok || !g.aborterTxOK || pc != g.aborterTx {
+		d.sendOn(victim, g)
+		return
+	}
+	// Renewal: the enemy transaction is still committing the same
+	// transaction that killed us. Extend the gate.
+	if g.renewCount < d.satMax(d.gcfg.RenewCounterBits) {
+		g.renewCount++
+	}
+	d.counters.Renewals++
+	d.stats.Renewals++
+	d.rec.Record(trace.Event{At: d.eng.Now(), Kind: trace.EvRenew,
+		Proc: victim, Other: g.aborterProc, Dir: d.id})
+	d.armTimer(victim, g, ep)
+}
+
 // New builds directory id. Attach must be called before traffic arrives.
 func New(id int, eng *sim.Engine, b bus.Interconnect, cfg config.Machine, gcfg config.Gating, policy cm.Policy, counters *stats.Counters) *Directory {
 	if cfg.Processors > MaxProcs {
@@ -219,10 +419,12 @@ func New(id int, eng *sim.Engine, b bus.Interconnect, cfg config.Machine, gcfg c
 		policy:    policy,
 		counters:  counters,
 		lines:     make(map[mem.LineAddr]*lineState),
-		marked:    make(map[int]tokens.TID),
-		announced: make(map[int]bool),
+		epoch:     1, // zero-valued arena entries must never look current
+		marked:    make([]tokens.TID, cfg.Processors),
+		announced: make([]bool, cfg.Processors),
 		writer:    -1,
 		gate:      make([]gateEntry, cfg.Processors),
+		ctlBank:   bus.BankOf(uint64(id), b.Banks()),
 	}
 	d.readFn = d.serviceRead
 	d.commitFn = d.commitStep
@@ -238,6 +440,47 @@ func (d *Directory) Attach(procs []ProcessorPort, onCommitDone func()) {
 // SetRecorder attaches an event recorder (nil detaches).
 func (d *Directory) SetRecorder(r *trace.Recorder) { d.rec = r }
 
+// Reset returns the directory to its initial state for a new run on the
+// same machine shape, taking the new run's gating knobs and contention
+// policy (the only construction inputs a variant sweep changes). The line
+// table survives as stale-epoch arena entries — reinitialized lazily on
+// first touch, rebuilt wholesale only above retainedLinesMax — and the
+// FIFO ring, gate table and pooled-op free lists keep their storage. The caller
+// must have reset the engine first: pending reads, commit steps and
+// gating timers are assumed discarded. A reset directory is observably
+// identical to one built fresh by New.
+func (d *Directory) Reset(gcfg config.Gating, policy cm.Policy) {
+	d.gcfg = gcfg
+	d.policy = policy
+	d.epoch++
+	if len(d.lines) > retainedLinesMax {
+		d.lines = make(map[mem.LineAddr]*lineState)
+		d.arena.reset()
+	}
+	d.nextFreeDir = 0
+	d.nextFreeMem = 0
+	d.reads.Clear()
+	d.readPending = false
+	d.commitProc = 0
+	d.commitTID = tokens.TIDNone
+	d.commitLines = nil
+	d.commitIdx = 0
+	d.commitStart = 0
+	d.commitDone = nil
+	clear(d.marked) // TID zero value is TIDNone
+	clear(d.announced)
+	d.writer = -1
+	for i := range d.gate {
+		// Zero the protocol state (zero EventRefs are inert; episodes
+		// restart at 0 as in New) but keep the pre-bound callbacks: they
+		// capture only this entry's index and pointer, both stable.
+		g := &d.gate[i]
+		*g = gateEntry{timerFn: g.timerFn, onFn: g.onFn}
+	}
+	d.rec = nil
+	d.stats = Stats{}
+}
+
 // Stats returns a copy of this directory's activity counters.
 func (d *Directory) Stats() Stats { return d.stats }
 
@@ -251,18 +494,33 @@ func maxTime(a, b sim.Time) sim.Time {
 	return b
 }
 
+// line returns the live state of l, materializing it — from the arena,
+// reusing a stale-epoch entry in place when one exists — on first touch
+// this run.
 func (d *Directory) line(l mem.LineAddr) *lineState {
 	ls, ok := d.lines[l]
 	if !ok {
-		ls = &lineState{owner: -1}
+		ls = d.arena.alloc()
 		d.lines[l] = ls
+	}
+	if ls.epoch != d.epoch {
+		*ls = lineState{owner: -1, epoch: d.epoch}
 	}
 	return ls
 }
 
+// lookup returns the live state of l, or nil if the line has not been
+// touched this run (entries from earlier epochs are treated as absent).
+func (d *Directory) lookup(l mem.LineAddr) *lineState {
+	if ls, ok := d.lines[l]; ok && ls.epoch == d.epoch {
+		return ls
+	}
+	return nil
+}
+
 // Sharers returns the sharer set of a line (for tests and stats).
 func (d *Directory) Sharers(l mem.LineAddr) ProcSet {
-	if ls, ok := d.lines[l]; ok {
+	if ls := d.lookup(l); ls != nil {
 		return ls.sharers
 	}
 	return ProcSet{}
@@ -270,7 +528,7 @@ func (d *Directory) Sharers(l mem.LineAddr) ProcSet {
 
 // Owner returns the owning processor of a line, or -1.
 func (d *Directory) Owner(l mem.LineAddr) int {
-	if ls, ok := d.lines[l]; ok {
+	if ls := d.lookup(l); ls != nil {
 		return ls.owner
 	}
 	return -1
@@ -278,7 +536,7 @@ func (d *Directory) Owner(l mem.LineAddr) int {
 
 // Version returns the commit version of a line (0 = never committed).
 func (d *Directory) Version(l mem.LineAddr) uint64 {
-	if ls, ok := d.lines[l]; ok {
+	if ls := d.lookup(l); ls != nil {
 		return ls.version
 	}
 	return 0
@@ -286,7 +544,7 @@ func (d *Directory) Version(l mem.LineAddr) uint64 {
 
 // LastCommitTID returns the TID of the line's most recent committer.
 func (d *Directory) LastCommitTID(l mem.LineAddr) tokens.TID {
-	if ls, ok := d.lines[l]; ok {
+	if ls := d.lookup(l); ls != nil {
 		return ls.lastTID
 	}
 	return tokens.TIDNone
@@ -299,7 +557,7 @@ func (d *Directory) LastCommitTID(l mem.LineAddr) tokens.TID {
 // read-set must drain first.
 func (d *Directory) HasOlderMark(tid tokens.TID, self int) bool {
 	for p, t := range d.marked {
-		if p != self && t < tid {
+		if t != tokens.TIDNone && p != self && t < tid {
 			return true
 		}
 	}
@@ -385,7 +643,7 @@ func (d *Directory) AnnounceIntent(proc int) {
 // WithdrawIntent clears the announcement (the transaction committed or
 // aborted).
 func (d *Directory) WithdrawIntent(proc int) {
-	delete(d.announced, proc)
+	d.announced[proc] = false
 }
 
 // Announced reports whether proc has announced speculative writes here.
@@ -400,13 +658,12 @@ func (d *Directory) Mark(proc int, tid tokens.TID) {
 
 // Unmark withdraws the commit request (the transaction aborted).
 func (d *Directory) Unmark(proc int) {
-	delete(d.marked, proc)
+	d.marked[proc] = tokens.TIDNone
 }
 
 // Marked reports whether proc currently has a commit request here.
 func (d *Directory) Marked(proc int) bool {
-	_, ok := d.marked[proc]
-	return ok
+	return d.marked[proc] != tokens.TIDNone
 }
 
 // Head returns the marked processor with the lowest TID, if any. The
@@ -415,7 +672,7 @@ func (d *Directory) Head() (proc int, ok bool) {
 	best := tokens.TID(0)
 	proc = -1
 	for p, t := range d.marked {
-		if proc == -1 || t < best {
+		if t != tokens.TIDNone && (proc == -1 || t < best) {
 			proc, best = p, t
 		}
 	}
@@ -440,7 +697,7 @@ func (d *Directory) BeginCommit(proc int, lines []mem.LineAddr, done func()) {
 	if d.writer != -1 {
 		panic(fmt.Sprintf("directory %d: BeginCommit(%d) while %d is committing", d.id, proc, d.writer))
 	}
-	if _, ok := d.marked[proc]; !ok {
+	if d.marked[proc] == tokens.TIDNone {
 		panic(fmt.Sprintf("directory %d: BeginCommit(%d) without mark", d.id, proc))
 	}
 	d.writer = proc
@@ -484,7 +741,7 @@ func (d *Directory) commitStep() {
 	d.writer = -1
 	d.commitLines = nil
 	d.commitDone = nil
-	delete(d.marked, proc)
+	d.marked[proc] = tokens.TIDNone
 	done()
 	if d.onCommitDone != nil {
 		d.onCommitDone()
@@ -504,19 +761,9 @@ func (d *Directory) commitLine(committer int, tid tokens.TID, l mem.LineAddr) {
 	d.procs[committer].NoteLineCommitted(l, ls.version)
 	victims.ForEach(func(v int) {
 		d.counters.Invalidations++
-		d.bus.Send(bus.BankOf(uint64(l), d.banks), func() {
-			d.rec.Record(trace.Event{At: d.eng.Now(), Kind: trace.EvInvalidate,
-				Proc: v, Other: committer, Dir: d.id, Line: l})
-			aborted := d.procs[v].DeliverInvalidation(l, committer, d.id)
-			if aborted {
-				d.counters.Aborts++
-				d.rec.Record(trace.Event{At: d.eng.Now(), Kind: trace.EvAbort,
-					Proc: v, Other: committer, Dir: d.id, Line: l})
-				if d.gcfg.Enabled {
-					d.gateVictim(v, committer)
-				}
-			}
-		})
+		op := d.getInv()
+		op.victim, op.committer, op.line = v, committer, l
+		d.bus.Send(bus.BankOf(uint64(l), d.banks), op.fn)
 	})
 }
 
@@ -591,7 +838,12 @@ func (d *Directory) armTimer(victim int, g *gateEntry, ep uint64) {
 	if wt < 1 {
 		wt = 1
 	}
-	g.timer = d.eng.ScheduleAfter(wt, func() { d.timerExpired(victim, ep) })
+	if g.timerFn == nil {
+		v := victim
+		g.timerFn = func() { d.timerExpired(v, g.timerEp) }
+	}
+	g.timerEp = ep
+	g.timer = d.eng.ScheduleAfter(wt, g.timerFn)
 }
 
 // timerExpired implements the Fig. 2(e) control circuit. The high fan-in
@@ -603,12 +855,9 @@ func (d *Directory) timerExpired(victim int, ep uint64) {
 	if g.episode != ep || !g.off {
 		return
 	}
-	d.eng.ScheduleAfter(d.gcfg.ControlCircuitCycles, func() {
-		if g.episode != ep || !g.off {
-			return
-		}
-		d.evaluateUngate(victim, g, ep)
-	})
+	op := d.getEval()
+	op.victim, op.ep = victim, ep
+	d.eng.ScheduleAfter(d.gcfg.ControlCircuitCycles, op.fn)
 }
 
 // evaluateUngate decides between On and renewal:
@@ -625,38 +874,15 @@ func (d *Directory) evaluateUngate(victim int, g *gateEntry, ep uint64) {
 	// "The aborter thread is still present in that directory": either it
 	// has announced speculative writes homed here (eager store-address
 	// communication) or it sits in the commit queue.
-	_, inQueue := d.marked[g.aborterProc]
+	inQueue := d.marked[g.aborterProc] != tokens.TIDNone
 	if !inQueue && !d.announced[g.aborterProc] {
 		d.sendOn(victim, g)
 		return
 	}
-	aborter := g.aborterProc
 	d.counters.TxInfoRequests++
-	// Gating control traffic has no line address; it interleaves by the
-	// issuing directory's id.
-	ctlBank := bus.BankOf(uint64(d.id), d.banks)
-	d.bus.Send(ctlBank, func() {
-		pc, ok := d.procs[aborter].TxInfo()
-		d.bus.Send(ctlBank, func() {
-			if g.episode != ep || !g.off {
-				return
-			}
-			if !ok || !g.aborterTxOK || pc != g.aborterTx {
-				d.sendOn(victim, g)
-				return
-			}
-			// Renewal: the enemy transaction is still committing the
-			// same transaction that killed us. Extend the gate.
-			if g.renewCount < d.satMax(d.gcfg.RenewCounterBits) {
-				g.renewCount++
-			}
-			d.counters.Renewals++
-			d.stats.Renewals++
-			d.rec.Record(trace.Event{At: d.eng.Now(), Kind: trace.EvRenew,
-				Proc: victim, Other: g.aborterProc, Dir: d.id})
-			d.armTimer(victim, g, ep)
-		})
-	})
+	op := d.getTxInfo()
+	op.victim, op.aborter, op.ep = victim, g.aborterProc, ep
+	d.bus.Send(d.ctlBank, op.reqFn)
 }
 
 // sendOn delivers the On command and clears the local OFF state.
@@ -666,7 +892,11 @@ func (d *Directory) sendOn(victim int, g *gateEntry) {
 	d.stats.Ungates++
 	d.rec.Record(trace.Event{At: d.eng.Now(), Kind: trace.EvUngate,
 		Proc: victim, Other: g.aborterProc, Dir: d.id})
-	d.bus.Send(bus.BankOf(uint64(d.id), d.banks), func() { d.procs[victim].DeliverOn(d.id) })
+	if g.onFn == nil {
+		v := victim
+		g.onFn = func() { d.procs[v].DeliverOn(d.id) }
+	}
+	d.bus.Send(d.ctlBank, g.onFn)
 }
 
 // ForceUngateAll is a test/shutdown hook: ungate every processor this

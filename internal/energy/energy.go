@@ -17,8 +17,10 @@ package energy
 import (
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"math"
+	"os"
 	"regexp"
 	"strings"
 
@@ -32,32 +34,33 @@ import (
 // pre-energy-axis checkpoints and CSVs keep their meaning.
 const DefaultName = "t65"
 
-// Tech is one named technology point of the energy axis.
+// Tech is one named technology point of the energy axis. The JSON field
+// names are the file format LoadFile accepts for user-defined points.
 type Tech struct {
 	// Name is the point's canonical name: lowercase letters, digits and
 	// dashes, as carried by cells, CSV rows and checkpoint keys.
-	Name string
+	Name string `json:"name"`
 	// Note is a one-line description for listings.
-	Note string
+	Note string `json:"note,omitempty"`
 	// Leakage is the leakage share of total active power in [0, 1).
-	Leakage float64
+	Leakage float64 `json:"leakage"`
 	// MissActivity is the cache dynamic activity during a miss relative
 	// to a hit, in [0, 1].
-	MissActivity float64
+	MissActivity float64 `json:"miss_activity"`
 	// Keep is the SRPG retained-leakage fraction in [0, 1]: the gated
 	// power factor is Leakage·Keep. 1 is the paper's plain clock gating
 	// (all leakage retained), smaller values model state-retention power
 	// gating of §IV.
-	Keep float64
+	Keep float64 `json:"keep"`
 	// CacheFactor pins the TCC data-cache power multiplier directly
 	// (the paper's conservative 1.5). When zero, the multiplier is
 	// priced from ResolutionBytes/CacheKB by the cacti model instead.
-	CacheFactor float64
+	CacheFactor float64 `json:"cache_factor,omitempty"`
 	// ResolutionBytes is the speculative RW-bit tracking resolution the
 	// cacti pricing uses (2 = word tracking, the paper's design point).
-	ResolutionBytes int
+	ResolutionBytes int `json:"resolution_bytes"`
 	// CacheKB is the L1 data-cache capacity the cacti pricing uses.
-	CacheKB int
+	CacheKB int `json:"cache_kb"`
 }
 
 var nameRE = regexp.MustCompile(`^[a-z0-9][a-z0-9-]*$`)
@@ -207,6 +210,54 @@ var byName = func() map[string]Tech {
 	}
 	return m
 }()
+
+// Register adds a user-defined technology point to the resolution
+// registry, after the same validation the built-in points pass at init.
+// Names must be unique across built-in and loaded points: a tech name in
+// a CSV or checkpoint must price one way only. Registered points appear
+// in Techs/Names listings after the built-ins and fingerprint exactly
+// like them (Fingerprint hashes parameters, not provenance).
+func Register(t Tech) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if _, dup := byName[t.Name]; dup {
+		return fmt.Errorf("energy: tech point %q is already registered", t.Name)
+	}
+	registry = append(registry, t)
+	byName[t.Name] = t
+	return nil
+}
+
+// LoadFile reads user-defined technology points from a JSON file — one
+// Tech object or an array of them, using the struct's json field names —
+// and registers each. The loaded points resolve, list and fingerprint
+// exactly like built-in registry points for the rest of the process; a
+// journal priced under a loaded point can only be re-priced by a process
+// that loads the same file again. Returns the points in file order.
+func LoadFile(path string) ([]Tech, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("energy: %w", err)
+	}
+	var ts []Tech
+	if err := json.Unmarshal(data, &ts); err != nil {
+		var one Tech
+		if err1 := json.Unmarshal(data, &one); err1 != nil {
+			return nil, fmt.Errorf("energy: %s: want one tech object or an array: %w", path, err)
+		}
+		ts = []Tech{one}
+	}
+	if len(ts) == 0 {
+		return nil, fmt.Errorf("energy: %s: no tech points", path)
+	}
+	for _, t := range ts {
+		if err := Register(t); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return ts, nil
+}
 
 // Default returns the default technology point (the paper's Table I).
 func Default() Tech { return byName[DefaultName] }

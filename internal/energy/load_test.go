@@ -1,0 +1,88 @@
+package energy
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTechFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestLoadFile pins the user-defined tech file format: a single object
+// or an array, validated and registered exactly like built-in points.
+func TestLoadFile(t *testing.T) {
+	one := writeTechFile(t, "one.json", `{
+		"name": "load-one", "note": "test point",
+		"leakage": 0.25, "miss_activity": 0.5, "keep": 0.8,
+		"cache_factor": 1.5, "resolution_bytes": 2, "cache_kb": 64
+	}`)
+	ts, err := LoadFile(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 || ts[0].Name != "load-one" || ts[0].Keep != 0.8 {
+		t.Fatalf("loaded %+v", ts)
+	}
+	got, err := Resolve("load-one")
+	if err != nil || got != ts[0] {
+		t.Fatalf("loaded point does not resolve: %+v, %v", got, err)
+	}
+	found := false
+	for _, name := range Names() {
+		found = found || name == "load-one"
+	}
+	if !found {
+		t.Fatal("loaded point missing from Names()")
+	}
+	// Fingerprints hash parameters, not provenance: a loaded copy of a
+	// registry point's parameters shares its fingerprint.
+	ref, _ := ByName(DefaultName)
+	dup := ref
+	dup.Name = "load-one-defaultparams"
+	if dup.Fingerprint() != ref.Fingerprint() {
+		t.Fatal("fingerprint depends on more than Params()")
+	}
+
+	arr := writeTechFile(t, "arr.json", `[
+		{"name": "load-a", "leakage": 0.1, "miss_activity": 0.4, "keep": 1,
+		 "resolution_bytes": 2, "cache_kb": 64},
+		{"name": "load-b", "leakage": 0.3, "miss_activity": 0.6, "keep": 0.5,
+		 "resolution_bytes": 1, "cache_kb": 128}
+	]`)
+	if ts, err = LoadFile(arr); err != nil || len(ts) != 2 {
+		t.Fatalf("array load: %v, %d points", err, len(ts))
+	}
+
+	// Re-registering the same name must fail, as must shadowing a
+	// built-in, an invalid parameter set, and malformed JSON.
+	if _, err := LoadFile(one); err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Fatalf("duplicate load: %v", err)
+	}
+	shadow := writeTechFile(t, "shadow.json",
+		`{"name": "t65", "leakage": 0.2, "miss_activity": 0.5, "keep": 1, "resolution_bytes": 2, "cache_kb": 64}`)
+	if _, err := LoadFile(shadow); err == nil {
+		t.Fatal("shadowing a built-in point must fail")
+	}
+	bad := writeTechFile(t, "bad.json",
+		`{"name": "load-bad", "leakage": 1.5, "miss_activity": 0.5, "keep": 1, "resolution_bytes": 2, "cache_kb": 64}`)
+	if _, err := LoadFile(bad); err == nil || !strings.Contains(err.Error(), "leakage") {
+		t.Fatalf("invalid point: %v", err)
+	}
+	if _, err := LoadFile(writeTechFile(t, "junk.json", `{not json`)); err == nil {
+		t.Fatal("malformed JSON must fail")
+	}
+	if _, err := LoadFile(writeTechFile(t, "empty.json", `[]`)); err == nil {
+		t.Fatal("empty array must fail")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}

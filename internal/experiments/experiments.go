@@ -62,6 +62,12 @@ type Options struct {
 	// every cell to regenerate its trace. Results are identical either
 	// way; this exists for benchmarks and debugging, not production use.
 	NoTraceCache bool
+	// NoSystemReuse disables the per-worker System cache, constructing a
+	// fresh simulated machine for every run. Results are identical either
+	// way (the reuse path's byte-identity contract is pinned by the
+	// done-set reuse golden); this exists for benchmarks and the
+	// differential tests themselves.
+	NoSystemReuse bool
 }
 
 // DefaultOptions returns the paper's campaign: genome/yada/intruder on

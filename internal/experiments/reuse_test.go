@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/stamp"
+)
+
+// TestShapeInterleaveReuseByteIdentical pins the shape-change fallback of
+// the per-worker System cache: a single worker streaming cells that
+// interleave 8p/32p/128p machines and banks 0/1/4 interconnects must
+// transparently rebuild its cached System on every shape change — never
+// corrupt it — and produce campaign CSV bytes identical to a session
+// running every cell on a fresh System.
+func TestShapeInterleaveReuseByteIdentical(t *testing.T) {
+	shapes := []struct{ procs, banks int }{
+		{8, 0}, {32, 4}, {8, 1}, {128, 4}, {32, 1}, {8, 4}, {128, 1}, {32, 0},
+		{8, 0}, // back to the first shape: the cache must have survived the churn
+	}
+	cells := make([]Cell, len(shapes))
+	for i, sh := range shapes {
+		cells[i] = Cell{
+			Index: i, ID: fmt.Sprintf("shape%d", i),
+			App: stamp.Intruder, Processors: sh.procs, Banks: sh.banks, Seed: 7,
+		}
+	}
+	runCSV := func(noReuse bool) string {
+		o := Options{Seed: 7, Scale: 0.02, Workers: 1, NoSystemReuse: noReuse}
+		s := NewSession(o)
+		defer s.Close()
+		outs, err := s.RunCells(context.Background(), cells)
+		if err != nil {
+			t.Fatalf("noReuse=%v: %v", noReuse, err)
+		}
+		camp := &Campaign{Options: o, Cells: cells, Outcomes: outs}
+		var buf strings.Builder
+		if err := camp.WriteCSV(&buf); err != nil {
+			t.Fatalf("noReuse=%v CSV: %v", noReuse, err)
+		}
+		return buf.String()
+	}
+	reused, fresh := runCSV(false), runCSV(true)
+	if reused == fresh {
+		return
+	}
+	r, f := strings.Split(reused, "\n"), strings.Split(fresh, "\n")
+	if len(r) != len(f) {
+		t.Fatalf("row counts diverge: %d (reused) vs %d (fresh)", len(r), len(f))
+	}
+	for i := range r {
+		if r[i] != f[i] {
+			t.Fatalf("first diverging row %d (%s):\nreused: %s\nfresh:  %s",
+				i, cells[i-1].Label(), r[i], f[i])
+		}
+	}
+}

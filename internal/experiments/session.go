@@ -32,7 +32,11 @@ type Session struct {
 	opts Options
 
 	poolOnce sync.Once
-	tasks    chan func()
+	// tasks carry the pool's work; each worker goroutine passes its own
+	// long-lived core.SystemCache into the task, so a stream of same-shape
+	// cells reuses one simulated machine per worker (nil when system
+	// reuse is disabled or when a task runs inline after Close).
+	tasks    chan func(*core.SystemCache)
 	poolStop chan struct{}
 	closed   sync.Once
 
@@ -48,7 +52,7 @@ type Session struct {
 func NewSession(o Options) *Session {
 	return &Session{
 		opts:     o,
-		tasks:    make(chan func()),
+		tasks:    make(chan func(*core.SystemCache)),
 		poolStop: make(chan struct{}),
 		traces:   make(map[traceKey]*traceEntry),
 	}
@@ -112,14 +116,20 @@ func (o Options) Fingerprint() string {
 	return hex.EncodeToString(h.Sum(nil))[:16]
 }
 
-// startPool launches the worker goroutines. They live until Close.
+// startPool launches the worker goroutines. They live until Close. Each
+// worker owns one SystemCache for its whole life, so consecutive cells it
+// picks up reuse the same simulated machine whenever shapes match.
 func (s *Session) startPool() {
 	for w := 0; w < s.opts.workers(); w++ {
 		go func() {
+			var sc *core.SystemCache
+			if !s.opts.NoSystemReuse {
+				sc = &core.SystemCache{}
+			}
 			for {
 				select {
 				case f := <-s.tasks:
-					f()
+					f(sc)
 				case <-s.poolStop:
 					return
 				}
@@ -129,13 +139,14 @@ func (s *Session) startPool() {
 }
 
 // submit hands f to the pool, blocking while all workers are busy. After
-// Close the task runs inline so pending dispatch can still drain.
-func (s *Session) submit(f func()) {
+// Close the task runs inline (with no System cache) so pending dispatch
+// can still drain.
+func (s *Session) submit(f func(*core.SystemCache)) {
 	s.poolOnce.Do(s.startPool)
 	select {
 	case s.tasks <- f:
 	case <-s.poolStop:
-		f()
+		f(nil)
 	}
 }
 
@@ -174,9 +185,9 @@ func (s *Session) StreamChan(ctx context.Context, cells []Cell) <-chan CellResul
 			}
 			pos, c := pos, c
 			wg.Add(1)
-			s.submit(func() {
+			s.submit(func(sc *core.SystemCache) {
 				defer wg.Done()
-				res := s.runCell(ctx, pos, c)
+				res := s.runCell(ctx, pos, c, sc)
 				select {
 				case out <- res:
 				case <-ctx.Done():
@@ -256,8 +267,9 @@ func (s *Session) Run(ctx context.Context) (*Campaign, error) {
 }
 
 // runCell produces one cell's result: restored from the checkpoint when
-// present there, simulated (and recorded) otherwise.
-func (s *Session) runCell(ctx context.Context, pos int, c Cell) CellResult {
+// present there, simulated (and recorded) otherwise. sc is the calling
+// worker's System cache (nil selects fresh construction).
+func (s *Session) runCell(ctx context.Context, pos int, c Cell, sc *core.SystemCache) CellResult {
 	res := CellResult{Pos: pos, Cell: c}
 	if s.ckpt != nil {
 		if out, ok := s.ckpt.Lookup(c); ok {
@@ -270,7 +282,7 @@ func (s *Session) runCell(ctx context.Context, pos int, c Cell) CellResult {
 		res.Err = err
 		return res
 	}
-	out, err := core.RunPairCtx(ctx, rs)
+	out, err := core.RunPairCached(ctx, rs, sc)
 	if err != nil {
 		res.Err = err
 		return res

@@ -46,6 +46,14 @@ func (q *Queue[T]) Front() T {
 	return q.buf[q.head]
 }
 
+// Clear empties the queue in place, keeping the ring storage for reuse.
+// Dropped elements are zeroed so references they held are released.
+func (q *Queue[T]) Clear() {
+	clear(q.buf)
+	q.head = 0
+	q.n = 0
+}
+
 func (q *Queue[T]) grow() {
 	size := 2 * len(q.buf)
 	if size == 0 {

@@ -124,6 +124,39 @@ func NewEngine() *Engine {
 	return &Engine{ring: make([][]*event, window)}
 }
 
+// Reset returns the engine to its initial state — clock at cycle zero,
+// sequence counter rewound, no pending events — while keeping the
+// allocated storage: the calendar ring buckets, the overflow heap's
+// backing array, and the event free list all survive, so a run on a reset
+// engine schedules without allocating from the first event. Events still
+// pending (a stopped run leaves gating timers, bus deliveries and barrier
+// spins queued) are discarded and recycled; their EventRefs go stale
+// exactly as if they had fired. A reset engine is indistinguishable from
+// a NewEngine to every observer of the public API, which is what lets a
+// reused simulated machine reproduce a fresh one bit for bit.
+func (e *Engine) Reset() {
+	for b := range e.ring {
+		bucket := e.ring[b]
+		for i, ev := range bucket {
+			e.recycle(ev)
+			bucket[i] = nil
+		}
+		e.ring[b] = bucket[:0]
+	}
+	for i, ev := range e.over {
+		e.recycle(ev)
+		e.over[i] = nil
+	}
+	e.over = e.over[:0]
+	e.now = 0
+	e.seq = 0
+	e.fired = 0
+	e.stopped = false
+	e.ringCnt = 0
+	e.ringNext = 0
+	e.queued = 0
+}
+
 // Now returns the current simulation time.
 func (e *Engine) Now() Time { return e.now }
 

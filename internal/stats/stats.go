@@ -73,6 +73,32 @@ func NewLedger(procs int) *Ledger {
 	return l
 }
 
+// NewLedgerHinted is NewLedger with per-processor segment-capacity hints,
+// typically the SegmentCounts of a previous run on the same cell shape:
+// pre-sizing the timelines moves the append-growth allocations off the
+// recording hot path. Hint entries beyond len(segCap) — or a nil segCap —
+// fall back to zero capacity. Hints affect only capacity, never contents.
+func NewLedgerHinted(procs int, segCap []int) *Ledger {
+	l := NewLedger(procs)
+	for p := 0; p < procs && p < len(segCap); p++ {
+		if segCap[p] > 0 {
+			l.segments[p] = make([]Segment, 0, segCap[p])
+		}
+	}
+	return l
+}
+
+// SegmentCounts returns the number of recorded segments per processor —
+// capacity hints for NewLedgerHinted when running another cell of similar
+// shape.
+func (l *Ledger) SegmentCounts() []int {
+	out := make([]int, l.procs)
+	for p := range out {
+		out[p] = len(l.segments[p])
+	}
+	return out
+}
+
 // Procs returns the processor count.
 func (l *Ledger) Procs() int { return l.procs }
 

@@ -156,9 +156,16 @@ type Processor struct {
 	// processor) because an aborted transaction's reply can still be in
 	// flight when the restarted transaction issues its own: each
 	// in-flight round trip needs its own captured state.
-	missFree  []*missOp
-	tokenFree []*tokenOp
-	annFree   []*announceOp
+	missFree   []*missOp
+	tokenFree  []*tokenOp
+	annFree    []*announceOp
+	commitFree []*commitOp
+	wakeFree   []*wakeOp
+
+	// homeCmp is the pre-bound (home, line) comparator the commit path
+	// sorts the write-set with; binding it once keeps SortFunc from
+	// allocating a closure per commit.
+	homeCmp func(a, b mem.LineAddr) int
 
 	stats ProcStats
 }
@@ -247,6 +254,79 @@ func (p *Processor) getAnnounce() *announceOp {
 	return a
 }
 
+// commitOp is one pooled per-directory commit leg: the request crossing
+// the bus to the home directory, and the completion callback the
+// directory fires when its commit walk finishes. One op is in flight per
+// directory the commit touches.
+type commitOp struct {
+	p      *Processor
+	dir    *directory.Directory
+	group  []mem.LineAddr
+	sendFn func()
+	doneFn func()
+}
+
+func (p *Processor) getCommitOp() *commitOp {
+	if n := len(p.commitFree); n > 0 {
+		c := p.commitFree[n-1]
+		p.commitFree = p.commitFree[:n-1]
+		return c
+	}
+	c := &commitOp{p: p}
+	c.sendFn = func() { c.dir.BeginCommit(c.p.id, c.group, c.doneFn) }
+	c.doneFn = func() { c.p.commitDirDone(c) }
+	return c
+}
+
+// commitDirDone retires one directory's commit leg. The op returns to
+// the pool first: completing the last leg starts the next transaction,
+// whose own commit is then free to reuse it.
+func (p *Processor) commitDirDone(c *commitOp) {
+	c.dir = nil
+	c.group = nil
+	p.commitFree = append(p.commitFree, c)
+	p.commitsLeft--
+	if p.commitsLeft == 0 {
+		p.completeCommit()
+	}
+}
+
+// wakeOp is one pooled PLL-relock wake-up: the delay between an On
+// delivery and the frozen processor's self-abort. Ops carry their own
+// generation because wake-ups cannot be cancelled: a processor that is
+// re-gated before a stale wake-up fires has a new wake-up in flight next
+// to the old one, and only the generation captured at scheduling time
+// tells them apart.
+type wakeOp struct {
+	p   *Processor
+	gen uint64
+	fn  func()
+}
+
+func (p *Processor) getWake() *wakeOp {
+	if n := len(p.wakeFree); n > 0 {
+		w := p.wakeFree[n-1]
+		p.wakeFree = p.wakeFree[:n-1]
+		return w
+	}
+	w := &wakeOp{p: p}
+	w.fn = func() { w.p.wakeFired(w) }
+	return w
+}
+
+func (p *Processor) wakeFired(w *wakeOp) {
+	gen := w.gen
+	p.wakeFree = append(p.wakeFree, w)
+	if p.gen != gen || p.state != stateGated {
+		return
+	}
+	p.stats.SelfAborts++
+	p.sys.counters.SelfAborts++
+	p.sys.rec.Record(trace.Event{At: p.sys.eng.Now(), Kind: trace.EvSelfAbort,
+		Proc: p.id, TxPC: p.currentTx().PC})
+	p.abortCurrent(true)
+}
+
 func newProcessor(id int, sys *System, l1 *cache.Cache, thread *workload.Thread) *Processor {
 	p := &Processor{
 		id:            id,
@@ -270,7 +350,44 @@ func newProcessor(id int, sys *System, l1 *cache.Cache, thread *workload.Thread)
 		p.pending = sim.EventRef{}
 		p.beginTx()
 	}
+	geom := sys.geom
+	p.homeCmp = func(a, b mem.LineAddr) int {
+		ha, hb := geom.HomeDir(a), geom.HomeDir(b)
+		if ha != hb {
+			return ha - hb
+		}
+		return cmp.Compare(a, b)
+	}
 	return p
+}
+
+// reset rewires the processor onto a new thread and returns every piece
+// of run state to its post-newProcessor value, keeping the allocated
+// storage: the speculative-set maps and scratch buffers clear in place,
+// the L1 flash-invalidates, and the pooled round-trip free lists survive
+// (ops that were in flight when the previous run ended were dropped with
+// the engine's events and simply leave the pool smaller). The state is
+// assigned directly rather than through setState, matching construction:
+// a fresh ledger already has every processor in StateRun at time zero.
+func (p *Processor) reset(thread *workload.Thread) {
+	p.thread = thread
+	p.state = stateIdle
+	p.gen = 0
+	p.pending = sim.EventRef{}
+	p.txIdx = 0
+	p.opIdx = 0
+	p.attempts = 0
+	clear(p.readSet)
+	clear(p.writeSet)
+	clear(p.versions)
+	clear(p.readVersions)
+	clear(p.announcedDirs)
+	p.tid = tokens.TIDNone
+	p.commitDirs = p.commitDirs[:0]
+	p.commitsLeft = 0
+	clear(p.dirFlag)
+	p.l1.Reset()
+	p.stats = ProcStats{}
 }
 
 // ID implements directory.ProcessorPort.
@@ -603,30 +720,17 @@ func (p *Processor) grant() {
 	}
 	p.commitScratch = lines
 	geom := p.sys.geom
-	slices.SortFunc(lines, func(a, b mem.LineAddr) int {
-		ha, hb := geom.HomeDir(a), geom.HomeDir(b)
-		if ha != hb {
-			return ha - hb
-		}
-		return cmp.Compare(a, b)
-	})
+	slices.SortFunc(lines, p.homeCmp)
 	lo := 0
 	for _, di := range p.commitDirs {
 		hi := lo
 		for hi < len(lines) && geom.HomeDir(lines[hi]) == di {
 			hi++
 		}
-		dir := p.sys.dirs[di]
-		group := lines[lo:hi]
+		c := p.getCommitOp()
+		c.dir, c.group = p.sys.dirs[di], lines[lo:hi]
 		lo = hi
-		p.sys.bus.Send(p.sys.idBank(di), func() {
-			dir.BeginCommit(p.id, group, func() {
-				p.commitsLeft--
-				if p.commitsLeft == 0 {
-					p.completeCommit()
-				}
-			})
-		})
+		p.sys.bus.Send(p.sys.idBank(di), c.sendFn)
 	}
 }
 
@@ -754,17 +858,9 @@ func (p *Processor) DeliverOn(dir int) {
 	if p.state != stateGated {
 		return // stale On from a directory with an out-of-date view
 	}
-	gen := p.gen
-	p.sys.eng.ScheduleAfter(p.sys.cfg.Gating.WakeupCycles, func() {
-		if p.gen != gen || p.state != stateGated {
-			return
-		}
-		p.stats.SelfAborts++
-		p.sys.counters.SelfAborts++
-		p.sys.rec.Record(trace.Event{At: p.sys.eng.Now(), Kind: trace.EvSelfAbort,
-			Proc: p.id, TxPC: p.currentTx().PC})
-		p.abortCurrent(true)
-	})
+	w := p.getWake()
+	w.gen = p.gen
+	p.sys.eng.ScheduleAfter(p.sys.cfg.Gating.WakeupCycles, w.fn)
 }
 
 // Gated implements directory.ProcessorPort.

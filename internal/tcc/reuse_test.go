@@ -1,0 +1,175 @@
+package tcc
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+	"repro/internal/stamp"
+	"repro/internal/workload"
+)
+
+// reuseTrace generates a scaled-down app trace for reuse tests.
+func reuseTrace(t *testing.T, app stamp.App, threads int, seed uint64, scale int) *workload.Trace {
+	t.Helper()
+	spec := stamp.MustSpec(app)
+	spec.TotalTxs /= scale
+	tr, err := spec.Generate(threads, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// assertSameResult compares two Results field for field. Ledgers are
+// compared by close time and residency totals (the pointer identity and
+// internal segmentation obviously differ).
+func assertSameResult(t *testing.T, label string, fresh, reused *Result) {
+	t.Helper()
+	if fresh.Ledger.End() != reused.Ledger.End() {
+		t.Errorf("%s: ledger end %d (fresh) != %d (reused)", label, fresh.Ledger.End(), reused.Ledger.End())
+	}
+	if !reflect.DeepEqual(fresh.Ledger.ResidencyTotals(), reused.Ledger.ResidencyTotals()) {
+		t.Errorf("%s: residency totals diverge", label)
+	}
+	f, r := *fresh, *reused
+	f.Ledger, r.Ledger = nil, nil
+	if !reflect.DeepEqual(f, r) {
+		t.Errorf("%s: results diverge:\nfresh:  %+v\nreused: %+v", label, f, r)
+	}
+}
+
+// TestResetRunBitIdentical is the core reuse contract: one System carried
+// across a stream of runs — different apps, seeds, gating variants — must
+// produce results identical to a freshly constructed System for every
+// run. Any state leaking across Reset shows up here as a divergence.
+func TestResetRunBitIdentical(t *testing.T) {
+	type step struct {
+		app       stamp.App
+		seed      uint64
+		gated     bool
+		w0        sim.Time
+		policy    config.PolicyKind
+		noRenewal bool
+	}
+	steps := []step{
+		{app: stamp.Intruder, seed: 42, gated: false},
+		{app: stamp.Intruder, seed: 42, gated: true, w0: 0},
+		{app: stamp.Genome, seed: 7, gated: true, w0: 200},
+		{app: stamp.Intruder, seed: 43, gated: true, w0: 0, policy: config.PolicyExponential},
+		{app: stamp.Yada, seed: 11, gated: true, w0: 0, noRenewal: true},
+		{app: stamp.Intruder, seed: 42, gated: false}, // back to the first shape of knobs
+	}
+	cfgFor := func(s step) config.Config {
+		cfg := config.Default(8)
+		if s.gated {
+			cfg = cfg.WithGating(s.w0)
+			cfg.Gating.Policy = s.policy
+			cfg.Gating.DisableRenewal = s.noRenewal
+		}
+		return cfg
+	}
+
+	var reused *System
+	for i, s := range steps {
+		tr := reuseTrace(t, s.app, 8, s.seed, 16)
+		cfg := cfgFor(s)
+
+		fresh, err := NewSystem(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fres, err := fresh.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if reused == nil {
+			if reused, err = NewSystem(cfg, tr); err != nil {
+				t.Fatal(err)
+			}
+		} else if err := reused.Reset(cfg, tr); err != nil {
+			t.Fatal(err)
+		}
+		rres, err := reused.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResult(t, fmt.Sprintf("step %d (%s seed %d)", i, s.app, s.seed), fres, rres)
+	}
+}
+
+// TestRunLeavesTraceUntouched pins the immutability half of the trace
+// sharing contract (see workload.Trace): the simulator must never mutate
+// thread state in place, since the session trace cache hands one *Trace
+// to concurrent (and reused) Systems. The gated intruder run exercises
+// aborts, restarts, gating and commits — every path that touches thread
+// data — and the trace must come out bit-identical.
+func TestRunLeavesTraceUntouched(t *testing.T) {
+	tr := reuseTrace(t, stamp.Intruder, 8, 42, 16)
+	snapshot := &workload.Trace{Name: tr.Name, Spec: tr.Spec, Threads: make([]workload.Thread, len(tr.Threads))}
+	for i, th := range tr.Threads {
+		snapshot.Threads[i] = workload.Thread{
+			Txs:     make([]workload.Transaction, len(th.Txs)),
+			InterTx: append([]int32(nil), th.InterTx...),
+		}
+		for j, tx := range th.Txs {
+			snapshot.Threads[i].Txs[j] = workload.Transaction{
+				PC:  tx.PC,
+				Ops: append([]workload.Op(nil), tx.Ops...),
+			}
+		}
+	}
+	for _, gated := range []bool{false, true} {
+		cfg := config.Default(8)
+		if gated {
+			cfg = cfg.WithGating(0)
+		}
+		sys, err := NewSystem(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(tr, snapshot) {
+		t.Fatal("simulation mutated the workload trace in place")
+	}
+}
+
+// TestResetShapeChange pins the fallback contract: a Reset onto a
+// different machine shape fails with ErrShapeChange (detectable via
+// errors.Is) and leaves fresh construction as the caller's path, while a
+// Reset onto the same shape with different gating knobs succeeds.
+func TestResetShapeChange(t *testing.T) {
+	tr8 := reuseTrace(t, stamp.Intruder, 8, 1, 32)
+	sys, err := NewSystem(config.Default(8), tr8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr16 := reuseTrace(t, stamp.Intruder, 16, 1, 32)
+	if err := sys.Reset(config.Default(16), tr16); !errors.Is(err, ErrShapeChange) {
+		t.Fatalf("Reset onto 16p shape: err = %v, want ErrShapeChange", err)
+	}
+
+	cfgBanked := config.Default(8)
+	cfgBanked.Machine.Banks = 4
+	if err := sys.Reset(cfgBanked, tr8); !errors.Is(err, ErrShapeChange) {
+		t.Fatalf("Reset onto banked shape: err = %v, want ErrShapeChange", err)
+	}
+
+	if err := sys.Reset(config.Default(8).WithGating(0), tr8); err != nil {
+		t.Fatalf("Reset with new gating knobs on same shape: %v", err)
+	}
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

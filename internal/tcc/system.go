@@ -1,6 +1,7 @@
 package tcc
 
 import (
+	"errors"
 	"fmt"
 	"slices"
 	"sort"
@@ -39,6 +40,11 @@ type System struct {
 	traceName      string
 	rec            *trace.Recorder
 	cancel         func() error
+
+	// segHints carries the previous run's per-processor ledger segment
+	// counts into the next Reset, pre-sizing the new ledger's timelines
+	// (capacity only — contents are unaffected).
+	segHints []int
 
 	// Reused grant-round scratch: candidate list and claimed-directory
 	// flags (with the claim list that un-sets them), cleared after every
@@ -112,6 +118,64 @@ func NewSystem(cfg config.Config, trace *workload.Trace) (*System, error) {
 		d.Attach(ports, s.scheduleTryGrant)
 	}
 	return s, nil
+}
+
+// ErrShapeChange is returned by Reset when the new configuration's
+// machine shape differs from the one the System was built for. Callers
+// holding a cached System detect it with errors.Is and fall back to fresh
+// construction; it never indicates an invalid configuration or trace.
+var ErrShapeChange = errors.New("tcc: machine shape changed, System must be rebuilt")
+
+// Reset rewinds the System for a new run on the same machine shape:
+// engine, interconnect, token vendor, directories, caches and processors
+// all return to their initial state in place, keeping their allocated
+// storage, and the trace's threads are rewired onto the processors. The
+// gating knobs (enabled, W0, policy, renewal) may differ from the
+// previous run — they are plain parameters — but any difference in
+// cfg.Machine fails with ErrShapeChange, since the component graph is
+// sized by the machine shape. Only the ledger is built fresh: it escapes
+// into the previous run's Result, which must stay valid after Reset.
+//
+// The correctness contract is byte-identity: a Run after Reset produces
+// bit-identical cycles, counters and CSV bytes to the same Run on a
+// freshly constructed System. The differential goldens over the done set
+// pin this.
+func (s *System) Reset(cfg config.Config, trace *workload.Trace) error {
+	if cfg.Machine != s.cfg.Machine {
+		return fmt.Errorf("%w: %+v -> %+v", ErrShapeChange, s.cfg.Machine, cfg.Machine)
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if trace.NumThreads() != cfg.Machine.Processors {
+		return fmt.Errorf("tcc: trace has %d threads but machine has %d processors",
+			trace.NumThreads(), cfg.Machine.Processors)
+	}
+	if err := trace.Validate(s.geom); err != nil {
+		return err
+	}
+	s.cfg = cfg
+	s.eng.Reset()
+	s.bus.Reset()
+	s.vendor.Reset()
+	policy := policyFor(cfg.Gating)
+	for _, d := range s.dirs {
+		d.Reset(cfg.Gating, policy)
+	}
+	s.counters = stats.Counters{} // &s.counters held by the directories stays valid
+	s.ledger = stats.NewLedgerHinted(cfg.Machine.Processors, s.segHints)
+	for i, p := range s.procs {
+		p.reset(&trace.Threads[i])
+	}
+	s.done = 0
+	s.endTime = 0
+	s.tryGrantQueued = false
+	s.traceName = trace.Name
+	s.rec = nil
+	s.cancel = nil
+	s.candScratch = s.candScratch[:0]
+	s.claimedList = s.claimedList[:0]
+	return nil
 }
 
 // Engine exposes the simulation engine (for tests).
@@ -310,6 +374,7 @@ func (s *System) Run() (*Result, error) {
 			s.done, len(s.procs))
 	}
 	s.ledger.Close(s.endTime)
+	s.segHints = s.ledger.SegmentCounts()
 	res := &Result{
 		Cycles:       s.endTime,
 		Ledger:       s.ledger,

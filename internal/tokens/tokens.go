@@ -29,6 +29,17 @@ func NewVendor() *Vendor {
 	return &Vendor{next: 1, outstanding: make(map[TID]int)}
 }
 
+// Reset returns the vendor to its initial state — next TID 1, nothing
+// outstanding, counters zeroed — keeping the outstanding map's storage.
+// TIDs are never reused within a run; across runs of a reused system the
+// sequence restarts at 1, exactly as a fresh vendor's would.
+func (v *Vendor) Reset() {
+	v.next = 1
+	clear(v.outstanding)
+	v.issued = 0
+	v.released = 0
+}
+
 // Acquire issues the next TID to processor proc.
 func (v *Vendor) Acquire(proc int) TID {
 	t := v.next

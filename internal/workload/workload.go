@@ -104,7 +104,14 @@ func (th *Thread) TotalOps() int {
 	return n
 }
 
-// Trace is a complete workload for one run.
+// Trace is a complete workload for one run. A Trace is immutable once
+// built: the simulator reads thread state by index and never writes any
+// of it back (processors keep their own txIdx/opIdx cursors), which is
+// what lets the session trace cache hand one *Trace to many concurrent
+// runs — including the two runs of a pair and the reused Systems of
+// different pool workers — without copying. tcc's
+// TestRunLeavesTraceUntouched asserts the no-mutation half of the
+// contract.
 type Trace struct {
 	// Name labels the workload (e.g. "intruder").
 	Name string
