@@ -367,3 +367,33 @@ func BenchmarkInterconnectScaling(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkTopologyScaling is the point-to-point fabrics' payoff
+// measurement, the same 128-processor line-beat-occupancy study as
+// BenchmarkInterconnectScaling run across the topology axis: the mesh
+// and crossbar spread the load over many links or pair ledgers, so their
+// wait-cycles/msg must undercut even the 4-banked bus. cmd/benchsnap
+// records the mesh and xbar lanes next to the banked ones in
+// BENCH_engine.json, where the two interconnect axes stay comparable.
+func BenchmarkTopologyScaling(b *testing.B) {
+	for _, topo := range []string{"bus", "xbar", "mesh", "ring"} {
+		b.Run("np128/"+topo, func(b *testing.B) {
+			rs := benchSpec(b, stamp.Intruder, 128, 0)
+			rs.Configure = func(c *config.Config) {
+				c.Machine.Topology = topo
+				c.Machine.BusCycles = interconnectScalingOccupancy
+			}
+			b.ReportAllocs()
+			var st bus.Stats
+			for i := 0; i < b.N; i++ {
+				out, err := core.RunPair(rs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st = out.Ungated.BusStats
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cells/s")
+			b.ReportMetric(float64(st.WaitCycles)/float64(st.Messages), "wait-cycles/msg")
+		})
+	}
+}

@@ -156,6 +156,20 @@
 // bus — a differential golden over the whole E2E done-set pins that —
 // and docs/ENGINE.md specifies the interleave function and cross-bank
 // dispatch order.
+//
+// Beyond the bus models, Config.Machine.Topology selects a point-to-point
+// fabric: "xbar" (a full crossbar with per source→destination pair
+// reservation), "mesh[:RxC]" (a 2D mesh with XY dimension-order routing)
+// or "ring[:N]" (a bidirectional ring, shorter arc first). Topology
+// specs parse with ParseTopology, CampaignOptions.Topology and
+// Cell.Topology thread the axis through campaigns (the topology matrix
+// block, case IDs M00801–M00848, sweeps it), and `cmd/experiments
+// -topology spec` through the CLI. The fabrics replace banking rather
+// than composing with it (non-bus topologies require Banks=0), and their
+// degenerate shapes — a 1×1 mesh or a 1-node ring — are byte-identical
+// to the single bus over the whole E2E done-set, pinned by the topology
+// golden. docs/ENGINE.md specifies the routing functions and the
+// per-link dispatch order.
 package clockgate
 
 import (
@@ -163,6 +177,7 @@ import (
 	"fmt"
 	"net"
 
+	"repro/internal/bus"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/dist"
@@ -234,6 +249,18 @@ func DefaultBankedConfig64() Config { return config.DefaultBanked64() }
 // DefaultBankedConfig128 returns the widest machine (MaxProcessors) on
 // an 8-banked interconnect.
 func DefaultBankedConfig128() Config { return config.DefaultBanked128() }
+
+// Topology is a parsed point-to-point interconnect shape: the kind
+// ("bus", "xbar", "mesh", "ring") plus its dimensions.
+type Topology = bus.Topology
+
+// ParseTopology parses an interconnect topology spec — "bus", "xbar[:N]",
+// "mesh[:RxC]", "ring[:N]" — against the given processor count. Unsized
+// specs take their natural dimensions from the machine (the mesh folds
+// the core count into a near-square grid). The empty spec is the bus.
+func ParseTopology(spec string, processors int) (Topology, error) {
+	return bus.ParseTopology(spec, processors)
+}
 
 // PowerModel re-exports the Table I power model.
 type PowerModel = power.Model
@@ -490,6 +517,13 @@ func MatrixExtensionProcessors() []int {
 // (case IDs M00721–M00752 pair it with the 64/128-processor machines).
 func MatrixBankedBanks() []int {
 	return append([]int(nil), experiments.MatrixBankedBanks...)
+}
+
+// MatrixTopologies returns the point-to-point topology block's
+// interconnect axis (case IDs M00801–M00848 pair it with the
+// 64/128-processor machines).
+func MatrixTopologies() []string {
+	return append([]string(nil), experiments.MatrixTopologies...)
 }
 
 // ScenarioByID resolves a case id such as "M00042".

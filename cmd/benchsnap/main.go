@@ -162,6 +162,37 @@ func main() {
 		}
 		m["interconnect_scaling_128p"] = m["cell_128p_banks4_cells_per_sec"] /
 			m["cell_128p_banks1_cells_per_sec"]
+
+		// Topology lanes: the same cell on the point-to-point fabrics
+		// (mesh at its natural 8x16 fold, full crossbar), banking off.
+		// Recording them next to the banked lanes keeps the two
+		// interconnect axes comparable; topology_scaling_128p is the
+		// mesh/single-bus cells-per-second ratio, and the fabrics'
+		// wait-cycles/msg undercutting cell_128p_banks4's is the tentpole
+		// payoff number (BenchmarkTopologyScaling is the interactive form).
+		for _, topo := range []string{"mesh", "xbar"} {
+			rs := core.RunSpec{Trace: tr, Processors: 128, Seed: 42,
+				Configure: func(c *config.Config) {
+					c.Machine.Topology = topo
+					c.Machine.BusCycles = 8
+				}}
+			var wait, msgs uint64
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					out, err := core.RunPair(rs)
+					if err != nil {
+						b.Fatal(err)
+					}
+					wait, msgs = out.Ungated.BusStats.WaitCycles, out.Ungated.BusStats.Messages
+				}
+			})
+			key := "cell_128p_" + topo
+			m[key+"_ns"] = float64(r.NsPerOp())
+			m[key+"_cells_per_sec"] = 1e9 / float64(r.NsPerOp())
+			m[key+"_wait_cycles_per_msg"] = float64(wait) / float64(msgs)
+		}
+		m["topology_scaling_128p"] = m["cell_128p_mesh_cells_per_sec"] /
+			m["cell_128p_banks1_cells_per_sec"]
 	}
 
 	// Re-pricing throughput: a small campaign is simulated once into a

@@ -57,6 +57,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/bus"
 	"repro/internal/config"
 	"repro/internal/dist"
 	"repro/internal/energy"
@@ -84,6 +85,7 @@ func main() {
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "campaign worker goroutines (1 = sequential; output is identical either way)")
 		procs      = flag.String("procs", "", "comma-separated processor counts overriding the paper's 4,8,16 sweep (up to 128, e.g. \"32,64,128\")")
 		banks      = flag.Int("banks", 0, "interconnect banks: 0 = the single split bus, a power of two = the address-interleaved banked bus (cells that pin their own shape, like matrix cases M00721+, keep it)")
+		topology   = flag.String("topology", "", "interconnect topology: \"bus\" (default), \"xbar[:N]\", \"mesh[:RxC]\" or \"ring[:N]\"; non-bus fabrics require -banks 0 (cells that pin their own shape, like matrix cases M00801+, keep it)")
 		shardSpec  = flag.String("shard", "", "run only shard i of n campaign cells, as \"i/n\"; shard CSVs concatenate cleanly (only shard 0 writes the header)")
 		matrix     = flag.String("matrix", "", "run scenario-matrix cases: comma-separated ids/names, \"done\", or \"all\"")
 		matrixList = flag.Bool("matrix-list", false, "list every scenario-matrix case")
@@ -172,6 +174,13 @@ func main() {
 		fatal(fmt.Errorf("-banks %d must be 0 (single bus) or a power of two up to %d", *banks, config.MaxBanks))
 	}
 	opts.Banks = *banks
+	// Validate the topology spec (and its exclusion with banking) up
+	// front against the widest machine the run may build, so a typo fails
+	// here with a parse error instead of mid-campaign.
+	if err := bus.ValidateTopology(*topology, *banks, config.MaxProcessors); err != nil {
+		fatal(err)
+	}
+	opts.Topology = *topology
 
 	shard, err := parseShard(*shardSpec)
 	if err != nil {
@@ -275,7 +284,7 @@ func main() {
 		// processes instead of the local session; the merged output is
 		// byte-identical to a local run of the same flags.
 		if *table1 || *table2 || *fig3 || *fig7 || *ablation || *extended || *seeds > 0 {
-			fatal(fmt.Errorf("-serve combines only with -matrix/-detail/-summary/-csv/-shard/-seed/-scale/-procs/-banks/-resume; run figures and tables locally"))
+			fatal(fmt.Errorf("-serve combines only with -matrix/-detail/-summary/-csv/-shard/-seed/-scale/-procs/-banks/-topology/-resume; run figures and tables locally"))
 		}
 		var cells []experiments.Cell
 		if *matrix != "" {

@@ -17,7 +17,10 @@ import (
 
 // doneSetCells builds one run-cell per done case of the scenario matrix,
 // every cell forced onto the given interconnect shape (banks = 0 is the
-// single bus, 1 the one-banked model).
+// single bus, 1 the one-banked model). Topology is cleared: this golden
+// differentials the two bus models, and the banked bus does not compose
+// with the topology block's point-to-point fabrics (those cells still
+// participate, re-homed onto the bus like every other machine axis).
 func doneSetCells(seed uint64, banks int) []Cell {
 	var cells []Cell
 	for _, s := range ScenarioMatrix() {
@@ -26,6 +29,7 @@ func doneSetCells(seed uint64, banks int) []Cell {
 		}
 		c := s.Cell(len(cells), seed)
 		c.Banks = banks
+		c.Topology = ""
 		cells = append(cells, c)
 	}
 	return cells

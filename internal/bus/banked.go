@@ -73,12 +73,27 @@ func NewBanked(eng *sim.Engine, occupancy sim.Time, banks int) *BankedBus {
 	return b
 }
 
-// NewInterconnect selects the interconnect model for a machine: banks <= 0
-// is the paper's single split-transaction bus; banks >= 1 is the banked
-// model with that many banks. Banks=1 is the banked model degenerated to
+// NewInterconnect selects the interconnect model for a machine of nodes
+// processors. An empty or "bus" topology selects by banks: banks <= 0 is
+// the paper's single split-transaction bus; banks >= 1 is the banked
+// model with that many banks (Banks=1 is the banked model degenerated to
 // one bank — cycle-identical to the single bus, and kept distinct so the
-// differential goldens can compare the two implementations.
-func NewInterconnect(eng *sim.Engine, occupancy sim.Time, banks int) Interconnect {
+// differential goldens can compare the two implementations). The
+// point-to-point topologies — "xbar", "mesh", "ring", with optional
+// explicit sizes (see ParseTopology) — ignore banks; validation rejects
+// the combination upstream. An unparseable topology panics: config
+// validation is the enforcement point and this is the backstop.
+func NewInterconnect(eng *sim.Engine, occupancy sim.Time, banks, nodes int, topology string) Interconnect {
+	topo, err := ParseTopology(topology, nodes)
+	if err != nil {
+		panic(err.Error())
+	}
+	switch topo.Kind {
+	case TopoXbar:
+		return NewXbar(eng, occupancy, topo.Nodes)
+	case TopoMesh, TopoRing:
+		return NewFabric(eng, occupancy, topo)
+	}
 	if banks <= 0 {
 		return New(eng, occupancy)
 	}
@@ -143,20 +158,18 @@ func (b *BankedBus) Queued() int {
 }
 
 // Utilization returns busy-cycles over elapsed wire-capacity cycles
-// (elapsed time times bank count): 1.0 means every bank was busy every
-// cycle.
+// (elapsed time times bank count), clamped to [0, 1]: 1.0 means every
+// bank was busy every cycle. Zero elapsed time reads as 0, never NaN.
 func (b *BankedBus) Utilization() float64 {
-	now := b.eng.Now()
-	if now == 0 {
-		return 0
-	}
-	return float64(b.Stats().BusyCycles) / (float64(now) * float64(len(b.banks)))
+	return clampUtil(float64(b.Stats().BusyCycles),
+		float64(b.eng.Now())*float64(len(b.banks)))
 }
 
 // Send implements Interconnect: the message joins bank's arbitration
 // queue and is granted a slot on that bank's wires by its next grant
-// round, in FIFO order.
-func (b *BankedBus) Send(bankIdx int, deliver func()) {
+// round, in FIFO order. src and dst are ignored: banks are selected by
+// address interleave, not by endpoint.
+func (b *BankedBus) Send(_, _, bankIdx int, deliver func()) {
 	if deliver == nil {
 		panic("bus: nil deliver callback")
 	}

@@ -16,7 +16,7 @@ func TestBankedMessagesCrossInParallel(t *testing.T) {
 	// anywhere, every crossing completes at t=4.
 	for bank := 0; bank < 4; bank++ {
 		bank := bank
-		b.Send(bank, func() { times[bank] = eng.Now() })
+		b.Send(0, 0, bank, func() { times[bank] = eng.Now() })
 	}
 	eng.Run()
 	for bank, at := range times {
@@ -35,7 +35,7 @@ func TestBankedPerBankFIFOAndSerialization(t *testing.T) {
 	var order []int
 	for i := 0; i < 3; i++ {
 		i := i
-		b.Send(0, func() { order = append(order, i) })
+		b.Send(0, 0, 0, func() { order = append(order, i) })
 	}
 	eng.Run()
 	if fmt.Sprint(order) != "[0 1 2]" {
@@ -61,7 +61,7 @@ func TestBankedSameCycleCrossBankOrderRotates(t *testing.T) {
 	b := NewBanked(eng, 4, 2)
 	var order []string
 	send := func(tag string, bank int) {
-		b.Send(bank, func() { order = append(order, fmt.Sprintf("%s@%d", tag, eng.Now())) })
+		b.Send(0, 0, bank, func() { order = append(order, fmt.Sprintf("%s@%d", tag, eng.Now())) })
 	}
 	send("a0", 0)
 	send("a1", 1)
@@ -83,11 +83,11 @@ func TestBankedPumpPullsForwardForEarlierBank(t *testing.T) {
 	eng := sim.NewEngine()
 	b := NewBanked(eng, 10, 2)
 	for i := 0; i < 4; i++ {
-		b.Send(0, func() {})
+		b.Send(0, 0, 0, func() {})
 	}
 	var second sim.Time
 	eng.Schedule(1, func() {
-		b.Send(1, func() { second = eng.Now() })
+		b.Send(0, 0, 1, func() { second = eng.Now() })
 	})
 	eng.Run()
 	if second != 11 {
@@ -101,7 +101,7 @@ func TestBankedBankOutOfRangePanics(t *testing.T) {
 			t.Error("out-of-range bank did not panic")
 		}
 	}()
-	NewBanked(sim.NewEngine(), 2, 4).Send(4, func() {})
+	NewBanked(sim.NewEngine(), 2, 4).Send(0, 0, 4, func() {})
 }
 
 func TestNewBankedRejectsNonPowerOfTwo(t *testing.T) {
@@ -115,23 +115,95 @@ func TestNewBankedRejectsNonPowerOfTwo(t *testing.T) {
 
 func TestNewInterconnectSelectsModel(t *testing.T) {
 	eng := sim.NewEngine()
-	if _, ok := NewInterconnect(eng, 2, 0).(*Bus); !ok {
+	if _, ok := NewInterconnect(eng, 2, 0, 8, "").(*Bus); !ok {
 		t.Error("banks=0 did not select the single bus")
 	}
-	ic := NewInterconnect(eng, 2, 4)
+	if _, ok := NewInterconnect(eng, 2, 0, 8, "bus").(*Bus); !ok {
+		t.Error(`topology "bus" did not select the single bus`)
+	}
+	ic := NewInterconnect(eng, 2, 4, 8, "")
 	if _, ok := ic.(*BankedBus); !ok || ic.Banks() != 4 {
 		t.Errorf("banks=4 selected %T with %d banks", ic, ic.Banks())
 	}
+	if x, ok := NewInterconnect(eng, 2, 0, 8, "xbar").(*Xbar); !ok || x.Ports() != 8 {
+		t.Errorf(`topology "xbar" selected %T`, x)
+	}
+	if f, ok := NewInterconnect(eng, 2, 0, 8, "mesh").(*Fabric); !ok ||
+		f.Topology().Rows != 2 || f.Topology().Cols != 4 {
+		t.Errorf(`topology "mesh" at 8 processors selected %T %+v, want a 2x4 Fabric`, f, f.Topology())
+	}
+	if f, ok := NewInterconnect(eng, 2, 0, 8, "ring:4").(*Fabric); !ok || f.Topology().Nodes != 4 {
+		t.Errorf(`topology "ring:4" selected %T`, f)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("unknown topology did not panic")
+			}
+		}()
+		NewInterconnect(eng, 2, 0, 8, "torus")
+	}()
 }
 
 func TestBankOf(t *testing.T) {
 	for _, tc := range []struct{ key, banks, want int }{
-		{5, 1, 0}, {5, 0, 0}, {5, 4, 1}, {6, 4, 2}, {8, 4, 0}, {13, 8, 5},
+		{5, 1, 0}, {5, 0, 0}, {5, -3, 0}, {5, 4, 1}, {6, 4, 2}, {8, 4, 0}, {13, 8, 5},
 	} {
 		if got := BankOf(uint64(tc.key), tc.banks); got != tc.want {
 			t.Errorf("BankOf(%d, %d) = %d, want %d", tc.key, tc.banks, got, tc.want)
 		}
 	}
+}
+
+// TestBankOfRejectsNonPowerOfTwo pins the backstop for the interleave
+// invariant: the &(banks-1) mask is only a modulus for powers of two, and
+// a non-power-of-two count would silently skip banks (banks=3 masks with
+// 2: bank 1 never carries traffic). Config validation rejects such
+// machines; BankOf panics so a caller bypassing validation cannot run a
+// silently lopsided interconnect.
+func TestBankOfRejectsNonPowerOfTwo(t *testing.T) {
+	for _, banks := range []int{3, 5, 6, 7, 12, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("BankOf with banks=%d did not panic", banks)
+				}
+			}()
+			BankOf(1, banks)
+		}()
+	}
+}
+
+// TestUtilizationEdgeCases is the regression for the CSV bus_util NaN
+// leak: utilization read before any time has elapsed must be 0 (not 0/0),
+// and a reading taken while a granted slot is still crossing must clamp
+// to 1.0 (BusyCycles charges slots in full at grant time, so busy can
+// exceed elapsed mid-slot).
+func TestUtilizationEdgeCases(t *testing.T) {
+	eng := sim.NewEngine()
+	ics := map[string]Interconnect{
+		"bus":    New(eng, 4),
+		"banked": NewBanked(eng, 4, 2),
+		"xbar":   NewXbar(eng, 4, 2),
+		"mesh":   NewFabric(eng, 4, Topology{Kind: TopoMesh, Nodes: 1, Rows: 1, Cols: 1}),
+	}
+	for name, ic := range ics {
+		if got := ic.Utilization(); got != 0 {
+			t.Errorf("%s: utilization %f at t=0, want 0 (NaN/Inf would leak into the CSV)", name, got)
+		}
+	}
+	// A full grant round charges 2*occupancy busy cycles at t=0; stepping
+	// the engine to t=1 (mid-slot) makes busy > elapsed.
+	eng2 := sim.NewEngine()
+	b := New(eng2, 4)
+	b.Send(0, 0, 0, func() {})
+	b.Send(0, 0, 0, func() {})
+	eng2.Schedule(1, func() {
+		if got := b.Utilization(); got != 1 {
+			t.Errorf("mid-slot utilization %f, want clamped to 1", got)
+		}
+	})
+	eng2.Run()
 }
 
 // TestBankedOneBankMatchesSingleBus is the bus-level differential: the
@@ -152,7 +224,7 @@ func TestBankedOneBankMatchesSingleBus(t *testing.T) {
 				i := i
 				at := sim.Time(rng.Intn(300))
 				eng.Schedule(at, func() {
-					ic.Send(0, func() {
+					ic.Send(0, 0, 0, func() {
 						*out = append(*out, fmt.Sprintf("msg%d@%d", i, eng.Now()))
 					})
 				})
@@ -180,10 +252,32 @@ func FuzzBankedSlots(f *testing.F) {
 	f.Add([]byte{0, 0, 1, 0, 2, 3, 3, 3, 0, 1}, uint8(4))
 	f.Add([]byte{0, 0, 0, 0, 0, 0}, uint8(1))
 	f.Add([]byte{1, 200, 2, 200, 1, 0, 7, 9}, uint8(8))
+	f.Add([]byte{0, 0, 1, 1}, uint8(3)) // non-power-of-two: construction must panic
+	f.Add([]byte{5, 5}, uint8(6))
 	f.Fuzz(func(t *testing.T, data []byte, banksRaw uint8) {
-		banks := 1 << (banksRaw % 4) // 1, 2, 4 or 8 banks
+		banks := int(banksRaw%8) + 1 // 1..8 banks, power of two or not
 		const occupancy = sim.Time(5)
 		eng := sim.NewEngine()
+		if banks&(banks-1) != 0 {
+			// The mask interleave is wrong off powers of two; the model
+			// must refuse to build rather than run lopsided, and BankOf
+			// must refuse to map.
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewBanked(banks=%d) did not panic", banks)
+				}
+				func() {
+					defer func() {
+						if recover() == nil {
+							t.Fatalf("BankOf(_, %d) did not panic", banks)
+						}
+					}()
+					BankOf(uint64(len(data)), banks)
+				}()
+			}()
+			NewBanked(eng, occupancy, banks)
+			return
+		}
 		b := NewBanked(eng, occupancy, banks)
 		type crossing struct {
 			bank int
@@ -199,7 +293,7 @@ func FuzzBankedSlots(f *testing.F) {
 			seq := sent
 			sent++
 			eng.Schedule(at, func() {
-				b.Send(bank, func() {
+				b.Send(0, 0, bank, func() {
 					crossings = append(crossings, crossing{bank: bank, seq: seq, end: eng.Now()})
 				})
 			})

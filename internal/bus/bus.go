@@ -1,4 +1,4 @@
-// Package bus models the interconnect of the simulated machine. Two
+// Package bus models the interconnect of the simulated machine. Five
 // implementations of one Interconnect interface exist:
 //
 //   - Bus, the common split-transaction bus of the paper's Table II: a
@@ -10,6 +10,13 @@
 //     opens the 64/128-processor scale axis: each bank is an independent
 //     split bus arbitrating its own FIFO, and same-cycle deliveries across
 //     banks are serviced in a deterministic round-robin.
+//   - Xbar (xbar.go), a full crossbar: one reservation ledger per
+//     src→dst port pair, so the only contention is two messages between
+//     the same pair of nodes.
+//   - Mesh and Ring (fabric.go), point-to-point fabrics built from Bus
+//     links: a 2D mesh with XY dimension-order routing, and a
+//     bidirectional ring routing the shorter arc. Messages occupy every
+//     link on their route for the occupancy, hop by hop.
 //
 // In both models senders do not schedule per-request events: they enqueue
 // on an arbitration queue, and one grant-round event — scheduled for the
@@ -30,24 +37,37 @@ import (
 	"repro/internal/sim"
 )
 
+// VendorNode is the node id of the token vendor, which sits beside tile 0
+// rather than on its own port: on every topology, traffic to or from the
+// vendor crosses exactly one resource — tile 0's local port (the single
+// bus on "bus"). Serializing all token traffic through one FIFO is what
+// keeps TID replies delivering in acquisition order on every shape (the
+// commit-ordering invariant the processors rely on).
+const VendorNode = -1
+
 // Interconnect is the system's view of the interconnect. Send transmits a
-// message on the given bank (the single bus ignores the bank); deliver
-// runs when the message has crossed the wires. All methods must be called
-// from engine event context (the simulator is single-goroutine by design).
+// message from node src to node dst on the given bank; deliver runs when
+// the message has crossed the wires. Bus-class implementations route by
+// bank and ignore src/dst; point-to-point fabrics route by src/dst and
+// ignore bank. All methods must be called from engine event context (the
+// simulator is single-goroutine by design).
 type Interconnect interface {
-	// Send enqueues a message on bank's arbitration queue; deliver runs
-	// when the message has crossed. Banked implementations panic on a bank
-	// outside [0, Banks()).
-	Send(bank int, deliver func())
+	// Send enqueues a message from src to dst; deliver runs when the
+	// message has crossed. Bus-class implementations use only bank (their
+	// arbitration queue index; banked implementations panic on a bank
+	// outside [0, Banks())); fabrics use only src and dst (node ids,
+	// taken modulo their tile count, or VendorNode).
+	Send(src, dst, bank int, deliver func())
 	// Banks returns the number of independent banks (1 for the single bus).
 	Banks() int
 	// Occupancy returns the per-message hold time of one bank's wires.
 	Occupancy() sim.Time
 	// Stats returns the activity counters, aggregated over banks.
 	Stats() Stats
-	// BankStats returns a copy of each bank's private counters, indexed
-	// by bank (length Banks()). For the single bus this is one entry
-	// equal to Stats().
+	// BankStats returns a copy of each independent resource's private
+	// counters — banks for the bus models, links for the fabrics, output
+	// ports for the crossbar. For the single bus this is one entry equal
+	// to Stats().
 	BankStats() []Stats
 	// Queued returns the number of messages awaiting arbitration or
 	// delivery across all banks.
@@ -66,10 +86,17 @@ type Interconnect interface {
 // address; control messages with no address (token round trips, gating
 // commands) interleave by the sending component's id. banks must be a
 // power of two — the bank is the key's low lg(banks) bits — and with one
-// bank every key maps to bank 0.
+// bank every key maps to bank 0. A non-power-of-two count panics: the
+// mask would silently skip banks (banks=3 masks with 2, so every key
+// lands on bank 0 or 2 and bank 1 never carries traffic). Config
+// validation is the single enforcement point; this panic is the backstop
+// for callers that bypass it.
 func BankOf(key uint64, banks int) int {
 	if banks <= 1 {
 		return 0
+	}
+	if banks&(banks-1) != 0 {
+		panic(fmt.Sprintf("bus: BankOf banks %d must be a power of two", banks))
 	}
 	return int(key & uint64(banks-1))
 }
@@ -156,9 +183,15 @@ func (b *Bus) Queued() int { return b.reqs.Len() + b.dels.Len() }
 
 // Send transmits a message: deliver runs when the message has crossed the
 // bus. The message joins the arbitration queue and is granted a slot by
-// the next grant round, in FIFO order. The bank is ignored: every message
-// shares the one set of wires.
-func (b *Bus) Send(_ int, deliver func()) {
+// the next grant round, in FIFO order. src, dst and bank are ignored:
+// every message shares the one set of wires.
+func (b *Bus) Send(_, _, _ int, deliver func()) {
+	b.send(deliver)
+}
+
+// send is the link-level entry point the fabrics use directly: enqueue
+// and arm a grant round at the cycle the wires next free up.
+func (b *Bus) send(deliver func()) {
 	if deliver == nil {
 		panic("bus: nil deliver callback")
 	}
@@ -216,12 +249,25 @@ func (b *Bus) deliverHead() {
 	d.deliver()
 }
 
-// Utilization returns busy-cycles / elapsed-cycles at the current time.
-// Returns 0 before any time has elapsed.
+// Utilization returns busy-cycles / elapsed-cycles at the current time,
+// clamped to [0, 1]. Returns 0 before any time has elapsed — a zero-cycle
+// run must not leak NaN into downstream ratio columns. The clamp covers
+// the mid-slot case: BusyCycles charges a granted slot in full at grant
+// time, so a reading taken while the last slot is still crossing can see
+// busy > elapsed.
 func (b *Bus) Utilization() float64 {
-	now := b.eng.Now()
-	if now == 0 {
+	return clampUtil(float64(b.stats.BusyCycles), float64(b.eng.Now()))
+}
+
+// clampUtil is the shared utilization arithmetic: busy over capacity
+// clamped to [0, 1], with zero (not NaN/Inf) for zero elapsed capacity.
+func clampUtil(busy, capacity float64) float64 {
+	if capacity <= 0 {
 		return 0
 	}
-	return float64(b.stats.BusyCycles) / float64(now)
+	u := busy / capacity
+	if u > 1 {
+		return 1
+	}
+	return u
 }

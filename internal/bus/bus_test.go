@@ -11,7 +11,7 @@ func TestSingleMessageLatency(t *testing.T) {
 	eng := sim.NewEngine()
 	b := New(eng, 4)
 	var delivered sim.Time = -1
-	b.Send(0, func() { delivered = eng.Now() })
+	b.Send(0, 0, 0, func() { delivered = eng.Now() })
 	eng.Run()
 	if delivered != 4 {
 		t.Fatalf("delivered at %d, want 4", delivered)
@@ -23,7 +23,7 @@ func TestBackToBackMessagesSerialize(t *testing.T) {
 	b := New(eng, 4)
 	var times []sim.Time
 	for i := 0; i < 3; i++ {
-		b.Send(0, func() { times = append(times, eng.Now()) })
+		b.Send(0, 0, 0, func() { times = append(times, eng.Now()) })
 	}
 	eng.Run()
 	want := []sim.Time{4, 8, 12}
@@ -38,10 +38,10 @@ func TestBusFreesUpOverTime(t *testing.T) {
 	eng := sim.NewEngine()
 	b := New(eng, 4)
 	var second sim.Time
-	b.Send(0, func() {})
+	b.Send(0, 0, 0, func() {})
 	// Issue the second message long after the first finished: no queueing.
 	eng.Schedule(100, func() {
-		b.Send(0, func() { second = eng.Now() })
+		b.Send(0, 0, 0, func() { second = eng.Now() })
 	})
 	eng.Run()
 	if second != 104 {
@@ -56,7 +56,7 @@ func TestWaitCyclesAccumulateUnderContention(t *testing.T) {
 	eng := sim.NewEngine()
 	b := New(eng, 10)
 	for i := 0; i < 4; i++ {
-		b.Send(0, func() {})
+		b.Send(0, 0, 0, func() {})
 	}
 	eng.Run()
 	st := b.Stats()
@@ -79,7 +79,7 @@ func TestGrantRoundsBatchQueuedSenders(t *testing.T) {
 	// Eight messages issued in one cycle: one grant round must drain all
 	// of them (batched arbitration), with consecutive slots.
 	for i := 0; i < 8; i++ {
-		b.Send(0, func() { delivered++ })
+		b.Send(0, 0, 0, func() { delivered++ })
 	}
 	eng.Run()
 	if delivered != 8 {
@@ -97,8 +97,8 @@ func TestGrantRoundsBatchQueuedSenders(t *testing.T) {
 func TestQueuedCountsBothStages(t *testing.T) {
 	eng := sim.NewEngine()
 	b := New(eng, 4)
-	b.Send(0, func() {})
-	b.Send(0, func() {})
+	b.Send(0, 0, 0, func() {})
+	b.Send(0, 0, 0, func() {})
 	if got := b.Queued(); got != 2 {
 		t.Fatalf("queued %d before arbitration, want 2", got)
 	}
@@ -114,7 +114,7 @@ func TestSteadyStateSendZeroAlloc(t *testing.T) {
 	deliver := func() {}
 	work := func() {
 		for i := 0; i < 32; i++ {
-			b.Send(0, deliver)
+			b.Send(0, 0, 0, deliver)
 		}
 		eng.Run()
 	}
@@ -132,7 +132,7 @@ func TestUtilization(t *testing.T) {
 	if b.Utilization() != 0 {
 		t.Fatal("utilization non-zero at t=0")
 	}
-	b.Send(0, func() {})
+	b.Send(0, 0, 0, func() {})
 	eng.Schedule(8, func() {})
 	eng.Run()
 	// 4 busy cycles over 8 elapsed.
@@ -155,9 +155,9 @@ func TestInterleavedSendsKeepFIFO(t *testing.T) {
 	b := New(eng, 3)
 	var order []int
 	// Sender A at t=0, sender B at t=1: A's message must deliver first.
-	b.Send(0, func() { order = append(order, 0) })
+	b.Send(0, 0, 0, func() { order = append(order, 0) })
 	eng.Schedule(1, func() {
-		b.Send(0, func() { order = append(order, 1) })
+		b.Send(0, 0, 0, func() { order = append(order, 1) })
 	})
 	eng.Run()
 	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
@@ -182,14 +182,14 @@ func BenchmarkBusBatched(b *testing.B) {
 				// burst lasts, sustaining a queue.
 				if left > 0 {
 					left--
-					bus.Send(0, deliver)
+					bus.Send(0, 0, 0, deliver)
 				}
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				left = senders * 4
 				for s := 0; s < senders; s++ {
-					bus.Send(0, deliver)
+					bus.Send(0, 0, 0, deliver)
 				}
 				eng.Run()
 			}

@@ -7,6 +7,7 @@ package config
 import (
 	"fmt"
 
+	"repro/internal/bus"
 	"repro/internal/sim"
 )
 
@@ -49,6 +50,15 @@ type Machine struct {
 	// the single bus, kept distinct so the two implementations can be
 	// differentially tested against each other.
 	Banks int
+	// Topology selects the interconnect model by shape: "" or "bus"
+	// (the default) is whatever the Banks axis selects; "xbar", "mesh"
+	// and "ring" are the point-to-point fabrics, optionally with an
+	// explicit size ("xbar:N", "ring:N", "mesh:RxC" — unsized forms
+	// scale with the processor count; see bus.ParseTopology). BusCycles
+	// is the per-link occupancy on every topology. The fabrics route by
+	// endpoint, so they do not compose with Banks: a non-bus topology
+	// requires Banks to be 0.
+	Topology string
 	// DirectoryCycles is the directory access latency (10 cycles).
 	DirectoryCycles sim.Time
 	// MemoryCycles is the main-memory access latency (100 cycles,
@@ -180,6 +190,13 @@ func (c Config) WithBanks(banks int) Config {
 	return c
 }
 
+// WithTopology returns a copy of c on the given interconnect topology
+// ("" restores the default bus selected by Banks).
+func (c Config) WithTopology(topology string) Config {
+	c.Machine.Topology = topology
+	return c
+}
+
 // ValidateBanks checks a bank count in isolation: 0 selects the single
 // split bus, anything else must be a power of two no wider than MaxBanks.
 // Validate applies it to Machine.Banks; the CLI uses it to reject a bad
@@ -223,6 +240,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("config: L1 size %d incompatible with geometry", m.L1SizeBytes)
 	}
 	if err := ValidateBanks(m.Banks); err != nil {
+		return err
+	}
+	if err := bus.ValidateTopology(m.Topology, m.Banks, m.Processors); err != nil {
 		return err
 	}
 	if m.L1HitCycles <= 0 || m.BusCycles <= 0 || m.DirectoryCycles <= 0 ||

@@ -375,7 +375,7 @@ func (d *Directory) getTxInfo() *txInfoOp {
 	op := &txInfoOp{d: d}
 	op.reqFn = func() {
 		op.pc, op.ok = op.d.procs[op.aborter].TxInfo()
-		op.d.bus.Send(op.d.ctlBank, op.repFn)
+		op.d.bus.Send(op.aborter, op.d.node(), op.d.ctlBank, op.repFn)
 	}
 	op.repFn = func() { op.d.txInfoDelivered(op) }
 	return op
@@ -436,6 +436,12 @@ func (d *Directory) Attach(procs []ProcessorPort, onCommitDone func()) {
 	d.procs = procs
 	d.onCommitDone = onCommitDone
 }
+
+// node returns the directory's interconnect node: directories tile
+// round-robin across the processor nodes (directory j beside processor
+// j mod P), the placement every topology shares. Bus-class interconnects
+// ignore the node ids entirely.
+func (d *Directory) node() int { return d.id % d.cfg.Processors }
 
 // SetRecorder attaches an event recorder (nil detaches).
 func (d *Directory) SetRecorder(r *trace.Recorder) { d.rec = r }
@@ -600,10 +606,12 @@ func (d *Directory) serviceRead() {
 	ls.sharers.Add(r.proc)
 	// The reply carries the line's data, so it rides the line's bank —
 	// the same FIFO later invalidations of the line use, which preserves
-	// per-line reply/invalidation ordering on every interconnect shape.
+	// per-line reply/invalidation ordering on every interconnect shape
+	// (on the point-to-point fabrics the same guarantee comes from the
+	// deterministic route: same endpoints, same links, FIFO per link).
 	op := d.getReply()
 	op.reply, op.v = r.reply, ls.version
-	d.bus.Send(bus.BankOf(uint64(r.line), d.banks), op.fn)
+	d.bus.Send(d.node(), r.proc, bus.BankOf(uint64(r.line), d.banks), op.fn)
 }
 
 // noteProcessorAlive implements the paper's local-knowledge reconciliation:
@@ -763,7 +771,7 @@ func (d *Directory) commitLine(committer int, tid tokens.TID, l mem.LineAddr) {
 		d.counters.Invalidations++
 		op := d.getInv()
 		op.victim, op.committer, op.line = v, committer, l
-		d.bus.Send(bus.BankOf(uint64(l), d.banks), op.fn)
+		d.bus.Send(d.node(), v, bus.BankOf(uint64(l), d.banks), op.fn)
 	})
 }
 
@@ -882,7 +890,7 @@ func (d *Directory) evaluateUngate(victim int, g *gateEntry, ep uint64) {
 	d.counters.TxInfoRequests++
 	op := d.getTxInfo()
 	op.victim, op.aborter, op.ep = victim, g.aborterProc, ep
-	d.bus.Send(d.ctlBank, op.reqFn)
+	d.bus.Send(d.node(), op.aborter, d.ctlBank, op.reqFn)
 }
 
 // sendOn delivers the On command and clears the local OFF state.
@@ -896,7 +904,7 @@ func (d *Directory) sendOn(victim int, g *gateEntry) {
 		v := victim
 		g.onFn = func() { d.procs[v].DeliverOn(d.id) }
 	}
-	d.bus.Send(d.ctlBank, g.onFn)
+	d.bus.Send(d.node(), victim, d.ctlBank, g.onFn)
 }
 
 // ForceUngateAll is a test/shutdown hook: ungate every processor this

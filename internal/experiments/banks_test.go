@@ -11,10 +11,10 @@ import (
 )
 
 // TestTraceCacheKeyAudit pins the trace-cache key audit both ways. The
-// interconnect shape must NOT be in the key: Banks changes the machine,
-// never the workload, so cells differing only in Banks share one
-// generated trace (this sharing is what makes the interconnect
-// differential golden compare identical workloads). The processor count
+// interconnect shape must NOT be in the key: Banks and Topology change
+// the machine, never the workload, so cells differing only in those axes
+// share one generated trace (this sharing is what makes the interconnect
+// and topology differential goldens compare identical workloads). The processor count
 // MUST be in the key: cells at different machine widths generate
 // different workloads even when every other axis matches.
 func TestTraceCacheKeyAudit(t *testing.T) {
@@ -24,7 +24,9 @@ func TestTraceCacheKeyAudit(t *testing.T) {
 	base := Cell{App: stamp.Intruder, Processors: 8, Seed: 7}
 	banked := base
 	banked.Banks = 4
-	if _, err := s.RunCells(context.Background(), []Cell{base, banked}); err != nil {
+	meshed := base
+	meshed.Topology = "mesh"
+	if _, err := s.RunCells(context.Background(), []Cell{base, banked, meshed}); err != nil {
 		t.Fatal(err)
 	}
 	s.traceMu.Lock()

@@ -23,11 +23,13 @@ import (
 
 // checkpointVersion guards the on-disk format. Version 2 added the
 // interconnect counters (RunRecord.Bus/BankBus) that back the CSV's
-// bus/bank stat columns. A file written at another version is refused
-// with an error naming both versions — delete it (or keep the old
-// binary) to proceed; silently re-pricing v1 records would emit CSV
-// rows with zeroed bus columns.
-const checkpointVersion = 2
+// bus/bank stat columns. Version 3 added the topology axis to the cell
+// key and the campaign fingerprint: a v2 file's keys cannot distinguish
+// a mesh cell from a bus cell, so replaying one under the new axis could
+// restore the wrong machine's timings. A file written at another version
+// is refused with an error naming both versions — delete it (or keep the
+// old binary) to proceed.
+const checkpointVersion = 3
 
 type checkpointHeader struct {
 	Version  int    `json:"version"`
@@ -52,10 +54,26 @@ type checkpointHeader struct {
 // timings but price to different energy columns, and replaying one as the
 // other would silently mislabel results. Re-pricing across techs is the
 // reprice engine's explicit job (reprice.go), not a key collision.
+// Topology is part of the key for the same reason as Banks, with its
+// sentinels normalized the same way as Tech's: "" and "bus" both name
+// the default bus machine and collide on purpose, while explicit shapes
+// ("mesh:1x1" included) stay distinct — their cycle-equivalence to the
+// bus is a tested property, not a persistence-layer identity.
 func cellKey(c Cell) string {
-	return fmt.Sprintf("%s|%d|%d|%s|%s|%d|banks=%d|tech=%s",
+	return fmt.Sprintf("%s|%d|%d|%s|%s|%d|banks=%d|tech=%s|topology=%s",
 		c.App, c.Processors, c.effectiveW0(), c.contentionOrBase(), c.Variant, c.Seed, c.Banks,
-		energy.CanonicalName(c.Tech))
+		energy.CanonicalName(c.Tech), canonicalTopology(c.Topology))
+}
+
+// canonicalTopology normalizes the topology sentinels for keys and
+// fingerprints: "" and "bus" both select the default bus machine, so
+// they must agree. Explicit specs pass through verbatim — for parsed
+// canonical forms see bus.Topology.String.
+func canonicalTopology(topology string) string {
+	if topology == "" {
+		return "bus"
+	}
+	return topology
 }
 
 // Checkpoint is a JSONL result sink attached to a Session. It is safe for

@@ -31,11 +31,16 @@ import (
 // tech, banks) make sharded and matrix campaigns self-describing: a row
 // identifies its scenario without the Options that produced it. tech is
 // the cell's energy technology point (normalized: the empty sentinel
-// renders as the default point's name). banks is the interconnect shape
-// (0 = the single split bus, 1+ = the banked bus) and stays the last
-// column: the interconnect differential golden compares CSVs with
-// exactly that final column stripped, since it differs by construction
-// between the two campaigns it runs.
+// renders as the default point's name). topology is the interconnect
+// topology (normalized: "" renders as "bus"); on the point-to-point
+// fabrics the bank_* columns carry one entry per link (mesh/ring: local
+// ports then directional channels) or per port (xbar), and bus_rounds
+// counts per-link crossings. banks is the bus interconnect shape (0 =
+// the single split bus, 1+ = the banked bus) and stays the LAST column,
+// with topology immediately before it: the interconnect and topology
+// differential goldens compare CSVs with the trailing column(s)
+// stripped, since those differ by construction between the campaigns
+// they run.
 var csvHeader = []string{
 	"app", "processors", "n1_cycles", "n2_cycles", "speedup",
 	"eug", "eg", "energy_ratio", "power_ratio",
@@ -47,7 +52,7 @@ var csvHeader = []string{
 	"commits", "invalidations",
 	"bus_util", "bus_wait_cycles", "bus_rounds",
 	"bank_util", "bank_wait_cycles", "bank_rounds",
-	"w0", "contention", "seed", "case", "tech", "banks",
+	"w0", "contention", "seed", "case", "tech", "topology", "banks",
 }
 
 // WriteCSV exports the campaign's per-configuration metrics as CSV for
@@ -170,6 +175,7 @@ func (c *Campaign) writeCSV(w io.Writer, header bool) error {
 			fmt.Sprintf("%d", cell.Seed),
 			cell.ID,
 			energy.CanonicalName(cell.Tech),
+			canonicalTopology(cell.Topology),
 			fmt.Sprintf("%d", cell.Banks),
 		}
 		if err := cw.Write(row); err != nil {
@@ -194,12 +200,12 @@ func csvNum(format string, v float64) string {
 // busUtil renders busy-cycles over elapsed wire-capacity cycles (the
 // run's cycle count times the bank count) as a fixed-precision fraction.
 // Pure integer inputs keep the rendering identical across fresh,
-// checkpoint-restored and distributed-worker results.
+// checkpoint-restored and distributed-worker results. A degenerate
+// capacity (a zero-cycle run) routes through the csvNum NA path like the
+// energy ratio columns: the utilization of no elapsed time is missing
+// data, not 0/0.
 func busUtil(busy uint64, cycles sim.Time, banks int) string {
-	if cycles <= 0 || banks <= 0 {
-		return "0.0000"
-	}
-	return fmt.Sprintf("%.4f", float64(busy)/(float64(cycles)*float64(banks)))
+	return csvNum("%.4f", float64(busy)/(float64(cycles)*float64(banks)))
 }
 
 // perBank renders one ";"-joined value per interconnect bank. A restored

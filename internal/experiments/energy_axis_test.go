@@ -144,9 +144,9 @@ func TestReadJournalRobustness(t *testing.T) {
 	}
 
 	// A version from the future is refused, not misread.
-	future := strings.Replace(lines[0], `"version":2`, `"version":99`, 1)
+	future := strings.Replace(lines[0], `"version":3`, `"version":99`, 1)
 	if future == lines[0] {
-		t.Fatalf("header %q does not carry version 2", lines[0])
+		t.Fatalf("header %q does not carry version 3", lines[0])
 	}
 	if _, err := ReadJournal(strings.NewReader(future + "\n" + lines[1])); err == nil {
 		t.Fatal("foreign journal version accepted")

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/bus"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/energy"
@@ -50,6 +51,13 @@ type Cell struct {
 	// session's trace cache ignores it (and the checkpoint key must not:
 	// see cellKey).
 	Banks int
+	// Topology selects the cell's interconnect shape: "" or "bus" means
+	// whatever Banks selects, "xbar"/"mesh"/"ring" (optionally sized,
+	// e.g. "mesh:4x4") the point-to-point fabrics. Like Banks it changes
+	// the machine, never the workload — the trace cache ignores it, the
+	// checkpoint key must not (see cellKey). Non-bus topologies require
+	// Banks=0 (config validation enforces it).
+	Topology string
 	// Tech names the energy.Tech technology point that prices this cell's
 	// residency ledgers; empty means the default point (the paper's
 	// Table I model). Like Banks it is a machine-pricing axis, not a
@@ -81,6 +89,9 @@ func (c Cell) Label() string {
 	}
 	if c.Banks > 0 {
 		s += fmt.Sprintf("/banks=%d", c.Banks)
+	}
+	if c.Topology != "" && c.Topology != bus.TopoBus {
+		s += "/topo=" + c.Topology
 	}
 	if c.Tech != "" && c.Tech != energy.DefaultName {
 		s += "/tech=" + c.Tech
@@ -161,6 +172,7 @@ func (o Options) Cells() []Cell {
 				W0:         o.W0,
 				Contention: ContentionBase,
 				Banks:      o.Banks,
+				Topology:   o.Topology,
 				Tech:       o.Tech,
 				Seed:       o.Seed,
 			}

@@ -39,6 +39,12 @@ type Options struct {
 	// degenerated to one bank — cycle-identical to the single bus by the
 	// differential golden.
 	Banks int
+	// Topology selects the interconnect shape for every cell that does
+	// not pin its own (scenario-matrix topology cases do): "" or "bus"
+	// is whatever Banks selects; "xbar", "mesh" and "ring" (optionally
+	// sized, e.g. "mesh:4x4" — see bus.ParseTopology) are the
+	// point-to-point fabrics, which require Banks=0.
+	Topology string
 	// Tech names the energy.Tech technology point pricing every cell that
 	// does not pin its own (scenario-matrix energy cases do); empty means
 	// the default point, the paper's Table I model. Tech changes only how
@@ -302,6 +308,7 @@ func fig7Cells(o Options) []Cell {
 					W0:         w0,
 					Contention: ContentionBase,
 					Banks:      o.Banks,
+					Topology:   o.Topology,
 					Tech:       o.Tech,
 					Seed:       o.Seed,
 				})

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/bus"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/stamp"
@@ -23,7 +24,8 @@ import (
 // extension is enumerated as a separate block appended after it
 // (M00433–M00720); the banked-interconnect block rides behind that
 // (M00721–M00752); the energy/EDP technology block behind that
-// (M00753–M00800). Existing checkpoints, CSVs and docs keep meaning the
+// (M00753–M00800); the point-to-point topology block behind that
+// (M00801–M00848). Existing checkpoints, CSVs and docs keep meaning the
 // same cases.
 
 // Contention adjusts a workload preset's conflict intensity around the
@@ -92,6 +94,15 @@ var (
 	// the paper's mid-size grid, where gating behavior is the
 	// best-characterized.
 	MatrixTechProcessors = []int{8, 16}
+	// MatrixTopologies is the interconnect axis of the point-to-point
+	// topology block (M00801+): the non-bus bus.Interconnect models.
+	// Unsized specs let each machine pick its natural dimensions (the
+	// mesh folds to a near-square grid of the core count).
+	MatrixTopologies = []string{"xbar", "mesh", "ring"}
+	// MatrixTopologyProcessors is the machine-width axis of the topology
+	// block: the same wide design points as the banked block, where the
+	// single bus saturates and a point-to-point fabric pays off.
+	MatrixTopologyProcessors = []int{64, 128}
 )
 
 // matrixDefaultW0 is the gating window the paper evaluates; scenarios at
@@ -124,6 +135,10 @@ type Scenario struct {
 	// empty for the default point (every case outside the energy block),
 	// a registered energy.Tech name inside it.
 	Tech string
+	// Topology is the interconnect topology: empty for the bus models
+	// (every case outside the topology block), a bus.ParseTopology spec
+	// ("xbar", "mesh", "ring") inside it.
+	Topology string
 }
 
 // Name returns the scenario's human-readable address, e.g.
@@ -133,6 +148,9 @@ func (s Scenario) Name() string {
 	if s.Banks > 0 {
 		n += fmt.Sprintf("/banks=%d", s.Banks)
 	}
+	if s.Topology != "" {
+		n += "/topo=" + s.Topology
+	}
 	if s.Tech != "" {
 		n += "/tech=" + s.Tech
 	}
@@ -141,6 +159,10 @@ func (s Scenario) Name() string {
 
 // Title returns the case-table title.
 func (s Scenario) Title() string {
+	if s.Topology != "" {
+		return fmt.Sprintf("%s on %d processor(s), W0=%d, %s contention, %s interconnect topology: paired gated vs ungated run",
+			s.App, s.Processors, s.W0, s.Contention, s.Topology)
+	}
 	if s.Tech != "" {
 		return fmt.Sprintf("%s on %d processor(s), W0=%d, %s contention, %s technology point: paired gated vs ungated run",
 			s.App, s.Processors, s.W0, s.Contention, s.Tech)
@@ -168,6 +190,8 @@ func isPaperNp(np int) bool { return np == 4 || np == 8 || np == 16 }
 // exercises beyond the paper's evaluation grid.
 func (s Scenario) Category() string {
 	switch {
+	case s.Topology != "":
+		return "topology"
 	case s.Tech != "":
 		return "energy"
 	case s.Banks > 0:
@@ -193,6 +217,9 @@ func (s Scenario) Category() string {
 func (s Scenario) CheckPoint() string {
 	const counters = "gating-counter invariants (renewals=0 without gatings, self-aborts <= ungates)"
 	switch s.Category() {
+	case "topology":
+		return "paired run completes on the point-to-point fabric; metrics finite; " + counters +
+			"; degenerate-shape byte-identity to the single bus pinned by the topology golden"
 	case "energy":
 		return "paired run completes under a non-default technology point; energy columns finite; " + counters +
 			"; journal reprice byte-identity to fresh simulation pinned by the reprice golden"
@@ -235,6 +262,14 @@ func (s Scenario) Done() bool {
 	base := s.Contention == ContentionBase
 	defW0 := s.W0 == matrixDefaultW0
 	paper := isPaperApp(s.App)
+	if s.Topology != "" {
+		// Topology block: the paper apps prove out the mesh at 64 cores,
+		// and the high-conflict app runs the widest machine on every
+		// fabric — the same shape as the banked block's done set, so the
+		// two interconnect axes stay comparable at 128 processors.
+		return (paper && s.Processors == 64 && s.Topology == bus.TopoMesh) ||
+			(s.App == stamp.Intruder && s.Processors == 128)
+	}
 	if s.Tech != "" {
 		// Energy block: the paper apps prove out every technology point at
 		// both machine widths — the grid the reprice golden sweeps, so the
@@ -306,6 +341,7 @@ func (s Scenario) Cell(index int, campaignSeed uint64) Cell {
 		W0:         s.W0,
 		Contention: s.Contention,
 		Banks:      s.Banks,
+		Topology:   s.Topology,
 		Tech:       s.Tech,
 		Seed:       CellSeed(campaignSeed, s.Ord),
 	}
@@ -384,6 +420,28 @@ func buildMatrix() {
 			}
 		}
 	}
+	// Point-to-point topology block (M00801+): every app at the wide
+	// machine sizes on each non-bus fabric — paper-default gating window,
+	// base contention, Banks=0 (the fabrics do not compose with banking).
+	// Only the interconnect topology varies against the established
+	// scale-sweep configuration, mirroring the banked block so the two
+	// interconnect axes answer the same saturation question.
+	for _, app := range stamp.AllApps() {
+		for _, np := range MatrixTopologyProcessors {
+			for _, topo := range MatrixTopologies {
+				ord := len(matrixCache)
+				matrixCache = append(matrixCache, Scenario{
+					ID:         fmt.Sprintf("M%05d", ord+1),
+					Ord:        ord,
+					App:        app,
+					Processors: np,
+					W0:         matrixDefaultW0,
+					Contention: ContentionBase,
+					Topology:   topo,
+				})
+			}
+		}
+	}
 	matrixByID = make(map[string]Scenario, len(matrixCache))
 	matrixByName = make(map[string]Scenario, len(matrixCache))
 	for _, s := range matrixCache {
@@ -398,7 +456,9 @@ func buildMatrix() {
 // 48–128 processor scale block in the same nesting, followed by the
 // banked-interconnect block (applications outer, then machine width and
 // bank count), followed by the energy/EDP technology block (applications
-// outer, then machine width and technology point).
+// outer, then machine width and technology point), followed by the
+// point-to-point topology block (applications outer, then machine width
+// and topology).
 func Matrix() []Scenario {
 	matrixOnce.Do(buildMatrix)
 	out := make([]Scenario, len(matrixCache))
@@ -444,15 +504,23 @@ func RunScenarios(o Options, scenarios []Scenario) (*Campaign, error) {
 // (canonical) order, exactly as Session.RunScenarios executes them:
 // each cell's seed derives from the campaign seed and the scenario's
 // matrix ordinal, and a campaign-wide interconnect override applies to
-// every case that does not pin its own shape (the banked block does).
+// every case that does not pin its own shape (the banked and topology
+// blocks do).
 // The distributed coordinator uses this to own the same canonical cell
 // list a local matrix run would execute.
 func (o Options) ScenarioCells(scenarios []Scenario) []Cell {
 	cells := make([]Cell, len(scenarios))
 	for i, sc := range scenarios {
 		cells[i] = sc.Cell(i, o.Seed)
-		if cells[i].Banks == 0 {
+		// The two interconnect overrides are mutually exclusive per cell:
+		// a fabric does not compose with banking, so a campaign-wide
+		// -banks never lands on a topology-block cell and a campaign-wide
+		// -topology never lands on a banked-block cell.
+		if cells[i].Banks == 0 && cells[i].Topology == "" {
 			cells[i].Banks = o.Banks
+			if cells[i].Banks == 0 {
+				cells[i].Topology = o.Topology
+			}
 		}
 		if cells[i].Tech == "" {
 			cells[i].Tech = o.Tech
@@ -519,12 +587,14 @@ func E2EDoc() string {
 This table enumerates every scenario the streaming session engine can
 run: each STAMP preset at 1-128 processors, gating windows W0 of 2/8/32
 cycles, low/base/high workload contention, (in the banked block) the
-address-interleaved banked interconnect at 4/8 banks, and (in the energy
-block) the non-default energy technology points t45/t32/t65-srpg50. Case
-ids are append-only: the original 1-32 processor grid keeps
-M00001-M00432, the 48/64/96/128-processor scale block is appended as
-M00433-M00720, the banked-interconnect block as M00721-M00752, and the
-energy/EDP technology block as M00753-M00800, so existing checkpoints
+address-interleaved banked interconnect at 4/8 banks, (in the energy
+block) the non-default energy technology points t45/t32/t65-srpg50, and
+(in the topology block) the point-to-point interconnect fabrics
+xbar/mesh/ring. Case ids are append-only: the original 1-32 processor
+grid keeps M00001-M00432, the 48/64/96/128-processor scale block is
+appended as M00433-M00720, the banked-interconnect block as
+M00721-M00752, the energy/EDP technology block as M00753-M00800, and the
+point-to-point topology block as M00801-M00848, so existing checkpoints
 and CSVs keep naming the same cases. Every sweep — this matrix, the paper
 campaign, Fig7, multi-seed, the ablations — executes as run-cells on one
 clockgate.Session, which owns the worker pool, the per-workload trace

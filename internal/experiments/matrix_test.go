@@ -14,12 +14,13 @@ func TestMatrixShape(t *testing.T) {
 	perCombo := len(MatrixW0Values) * len(ContentionLevels())
 	want := len(stamp.AllApps())*(len(MatrixProcessors)+len(MatrixExtensionProcessors))*perCombo +
 		len(stamp.AllApps())*len(MatrixBankedProcessors)*len(MatrixBankedBanks) +
-		len(stamp.AllApps())*len(MatrixTechProcessors)*len(MatrixTechPoints)
+		len(stamp.AllApps())*len(MatrixTechProcessors)*len(MatrixTechPoints) +
+		len(stamp.AllApps())*len(MatrixTopologyProcessors)*len(MatrixTopologies)
 	if len(m) != want {
 		t.Fatalf("%d scenarios, want %d", len(m), want)
 	}
-	if want != 800 {
-		t.Fatalf("matrix has %d addressable cases, want 800 (432 legacy + 288 scale extension + 32 banked + 48 energy)", want)
+	if want != 848 {
+		t.Fatalf("matrix has %d addressable cases, want 848 (432 legacy + 288 scale extension + 32 banked + 48 energy + 48 topology)", want)
 	}
 	ids := map[string]bool{}
 	names := map[string]bool{}
@@ -110,9 +111,32 @@ func TestLegacyIDsStable(t *testing.T) {
 	if !ok || tech.Tech == "" || tech.Ord != bankedEnd {
 		t.Errorf("energy block should start at M00753 (ord %d), got %+v", bankedEnd, tech)
 	}
-	for _, s := range Matrix()[bankedEnd:] {
+	techEnd := bankedEnd + len(stamp.AllApps())*len(MatrixTechProcessors)*len(MatrixTechPoints)
+	for _, s := range Matrix()[bankedEnd:techEnd] {
 		if s.Tech == "" || s.Banks != 0 {
 			t.Errorf("energy-block case %s should carry a tech point and no bank count", s.ID)
+		}
+	}
+	// The topology block rides behind the energy block: everything up to
+	// M00800 keeps Topology="" (the PR-5 grid unchanged), the topology
+	// block starts at exactly M00801, and only it carries a topology spec
+	// (with neither banks nor a tech point — the fabrics do not compose
+	// with banking, and pricing stays at the default point).
+	for _, s := range Matrix()[:techEnd] {
+		if s.Topology != "" {
+			t.Fatalf("topology %q leaked into pre-topology block (%s)", s.Topology, s.ID)
+		}
+	}
+	if s, ok := ScenarioByID("M00800"); !ok || s.Topology != "" || s.Tech == "" {
+		t.Errorf("M00800 = %+v, want the last energy case with no topology", s)
+	}
+	topo, ok := ScenarioByID("M00801")
+	if !ok || topo.Topology == "" || topo.Ord != techEnd {
+		t.Errorf("topology block should start at M00801 (ord %d), got %+v", techEnd, topo)
+	}
+	for _, s := range Matrix()[techEnd:] {
+		if s.Topology == "" || s.Banks != 0 || s.Tech != "" {
+			t.Errorf("topology-block case %s should carry a topology and nothing else", s.ID)
 		}
 	}
 }

@@ -11,20 +11,28 @@ import (
 
 // TestShapeInterleaveReuseByteIdentical pins the shape-change fallback of
 // the per-worker System cache: a single worker streaming cells that
-// interleave 8p/32p/128p machines and banks 0/1/4 interconnects must
-// transparently rebuild its cached System on every shape change — never
-// corrupt it — and produce campaign CSV bytes identical to a session
-// running every cell on a fresh System.
+// interleave 8p/32p/128p machines, banks 0/1/4 interconnects and
+// bus/mesh/xbar topologies must transparently rebuild its cached System
+// on every shape change — never corrupt it — and produce campaign CSV
+// bytes identical to a session running every cell on a fresh System.
+// Topology rides in Machine, so the struct-equality shape check catches a
+// bus→mesh→bus interleave with no extra plumbing; this test is what pins
+// that.
 func TestShapeInterleaveReuseByteIdentical(t *testing.T) {
-	shapes := []struct{ procs, banks int }{
-		{8, 0}, {32, 4}, {8, 1}, {128, 4}, {32, 1}, {8, 4}, {128, 1}, {32, 0},
-		{8, 0}, // back to the first shape: the cache must have survived the churn
+	shapes := []struct {
+		procs, banks int
+		topo         string
+	}{
+		{8, 0, ""}, {32, 4, ""}, {8, 1, ""}, {8, 0, "mesh"}, {128, 4, ""},
+		{32, 1, ""}, {8, 0, "xbar"}, {8, 4, ""}, {128, 1, ""}, {32, 0, ""},
+		{8, 0, ""}, // back to the first shape: the cache must have survived the churn
 	}
 	cells := make([]Cell, len(shapes))
 	for i, sh := range shapes {
 		cells[i] = Cell{
 			Index: i, ID: fmt.Sprintf("shape%d", i),
-			App: stamp.Intruder, Processors: sh.procs, Banks: sh.banks, Seed: 7,
+			App: stamp.Intruder, Processors: sh.procs, Banks: sh.banks,
+			Topology: sh.topo, Seed: 7,
 		}
 	}
 	runCSV := func(noReuse bool) string {

@@ -110,9 +110,10 @@ func (o Options) Fingerprint() string {
 		w0 = matrixDefaultW0
 	}
 	h := sha256.New()
-	fmt.Fprintf(h, "seed=%d scale=%g w0=%d derive=%t shard=%d/%d apps=%v procs=%v banks=%d tech=%s",
+	fmt.Fprintf(h, "seed=%d scale=%g w0=%d derive=%t shard=%d/%d apps=%v procs=%v banks=%d tech=%s topology=%s",
 		o.Seed, scale, w0, o.DeriveSeeds, o.Shard.Index, o.Shard.Count,
-		o.apps(), o.processors(), o.Banks, energy.CanonicalName(o.Tech))
+		o.apps(), o.processors(), o.Banks, energy.CanonicalName(o.Tech),
+		canonicalTopology(o.Topology))
 	return hex.EncodeToString(h.Sum(nil))[:16]
 }
 
@@ -320,6 +321,15 @@ func (s *Session) cellSpec(c Cell) (core.RunSpec, error) {
 			}
 		}
 	}
+	if topo := c.Topology; topo != "" {
+		inner := configure
+		configure = func(cfg *config.Config) {
+			cfg.Machine.Topology = topo
+			if inner != nil {
+				inner(cfg)
+			}
+		}
+	}
 	rs.Configure = configure
 	tr, err := s.trace(c)
 	if err != nil {
@@ -330,8 +340,9 @@ func (s *Session) cellSpec(c Cell) (core.RunSpec, error) {
 }
 
 // traceKey identifies a generated trace. W0, the interconnect shape
-// (Cell.Banks) and the variant are absent on purpose: they change the
-// machine, never the workload, which is what lets Fig7's W0 sweep, the
+// (Cell.Banks, Cell.Topology) and the variant are absent on purpose:
+// they change the machine, never the workload, which is what lets Fig7's
+// W0 sweep, the
 // ablation suite and the interconnect differential goldens share one
 // trace per (app, threads, seed) point. Processor count IS in the key
 // (threads): two cells at different machine widths generate different

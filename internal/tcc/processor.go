@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"slices"
 
+	"repro/internal/bus"
 	"repro/internal/cache"
 	"repro/internal/directory"
 	"repro/internal/mem"
@@ -228,7 +229,7 @@ func (p *Processor) getToken() *tokenOp {
 		// the vendor's books straight in that case.
 		t.tid = t.p.sys.vendor.Acquire(t.p.id)
 		t.p.sys.counters.TokenRequests++
-		t.p.sys.bus.Send(0, t.replyFn)
+		t.p.sys.bus.Send(bus.VendorNode, t.p.id, 0, t.replyFn)
 	}
 	t.replyFn = func() { t.p.tokenReply(t) }
 	return t
@@ -534,7 +535,7 @@ func (p *Processor) announceIntent(l mem.LineAddr) {
 	p.announcedDirs[home] = true
 	a := p.getAnnounce()
 	a.dir, a.gen = p.sys.dirs[home], p.gen
-	p.sys.bus.Send(p.sys.lineBank(l), a.fn)
+	p.sys.bus.Send(p.id, p.sys.dirNode(home), p.sys.lineBank(l), a.fn)
 }
 
 // announceDelivered lands a pooled announcement at its directory. The op
@@ -564,10 +565,11 @@ func (p *Processor) withdrawIntents() {
 // transaction's read version.
 func (p *Processor) issueMiss(l mem.LineAddr, read, resident bool) {
 	p.setState(stateWaitMiss)
+	home := p.sys.geom.HomeDir(l)
 	m := p.getMiss()
-	m.dir = p.sys.dirs[p.sys.geom.HomeDir(l)]
+	m.dir = p.sys.dirs[home]
 	m.line, m.gen, m.read, m.resident = l, p.gen, read, resident
-	p.sys.bus.Send(p.sys.lineBank(l), m.sendFn)
+	p.sys.bus.Send(p.id, p.sys.dirNode(home), p.sys.lineBank(l), m.sendFn)
 }
 
 // missReply lands a pooled miss round trip's data back at the processor.
@@ -606,15 +608,16 @@ func (p *Processor) reachCommitPoint() {
 		return
 	}
 	p.setState(stateWaitTID)
-	// Token traffic is pinned to bank 0 on every interconnect shape: the
-	// vendor is one global component, and keeping its round trips on one
-	// FIFO preserves the invariant enterCommitQueue depends on — TID
-	// replies deliver in acquisition order. Interleaving them by requester
-	// would let a younger committer's reply overtake an older one's on a
-	// less loaded bank.
+	// Token traffic is pinned to one FIFO on every interconnect shape —
+	// bank 0 on the bus models, tile 0's local port on the fabrics, the
+	// (0,0) pair on the crossbar (bus.VendorNode selects it): the vendor
+	// is one global component, and serializing its round trips preserves
+	// the invariant enterCommitQueue depends on — TID replies deliver in
+	// acquisition order. Spreading them by requester would let a younger
+	// committer's reply overtake an older one's on a less loaded path.
 	t := p.getToken()
 	t.gen = p.gen
-	p.sys.bus.Send(0, t.requestFn)
+	p.sys.bus.Send(p.id, bus.VendorNode, 0, t.requestFn)
 }
 
 // tokenReply lands a pooled token round trip's TID back at the
@@ -730,7 +733,7 @@ func (p *Processor) grant() {
 		c := p.getCommitOp()
 		c.dir, c.group = p.sys.dirs[di], lines[lo:hi]
 		lo = hi
-		p.sys.bus.Send(p.sys.idBank(di), c.sendFn)
+		p.sys.bus.Send(p.id, p.sys.dirNode(di), p.sys.idBank(di), c.sendFn)
 	}
 }
 

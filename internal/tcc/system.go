@@ -93,7 +93,8 @@ func NewSystem(cfg config.Config, trace *workload.Trace) (*System, error) {
 		ledger: stats.NewLedger(cfg.Machine.Processors),
 	}
 	s.traceName = trace.Name
-	s.bus = bus.NewInterconnect(s.eng, cfg.Machine.BusCycles, cfg.Machine.Banks)
+	s.bus = bus.NewInterconnect(s.eng, cfg.Machine.BusCycles, cfg.Machine.Banks,
+		cfg.Machine.Processors, cfg.Machine.Topology)
 	s.nbanks = s.bus.Banks()
 	s.tryGrantFn = func() {
 		s.tryGrantQueued = false
@@ -201,6 +202,14 @@ func (s *System) lineBank(l mem.LineAddr) int {
 // originating component's id, keeping them deterministic and spread.
 func (s *System) idBank(id int) int {
 	return bus.BankOf(uint64(id), s.nbanks)
+}
+
+// dirNode returns the interconnect node a directory sits on: directories
+// tile round-robin across the processor nodes (directory j beside
+// processor j mod P), the placement every topology shares. Bus-class
+// interconnects ignore the node ids entirely.
+func (s *System) dirNode(di int) int {
+	return di % s.cfg.Machine.Processors
 }
 
 // Vendor exposes the token vendor (for tests).
