@@ -559,3 +559,58 @@ func TestFleetChaosSmoke(t *testing.T) {
 		t.Errorf("chaos campaign CSV diverges:\nwant:\n%s\ngot:\n%s", want, got)
 	}
 }
+
+// TestFleetBatchedReturnsByteIdentity pins the worker-side result
+// batching contract: a fleet streaming results back one cell per
+// /v1/return (ReturnBatch=1, maximum partial-return traffic) while
+// sharing an on-disk trace store produces CSV byte-identical to a
+// single in-process session — and each partial return settles its cells
+// on the coordinator, so a settled count observed mid-campaign only
+// grows.
+func TestFleetBatchedReturnsByteIdentity(t *testing.T) {
+	opts := chaosOptions()
+	want := singleProcessCSV(t, opts)
+	opts.TraceDir = t.TempDir() // workers inherit via /v1/campaign
+	cells := opts.Cells()
+
+	coord, err := NewCoordinator(opts, cells, Config{
+		LeaseTTL:   30 * time.Second,
+		LeaseBatch: 3,
+		RetryDelay: 10 * time.Millisecond,
+		DrainGrace: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, serveCh := startCoordinator(t, coord)
+
+	var wg sync.WaitGroup
+	workerErrs := make([]error, 2)
+	for i := range workerErrs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, workerErrs[i] = Work(context.Background(), addr, WorkerOptions{
+				Name:        fmt.Sprintf("batcher-%d", i),
+				Workers:     2,
+				MaxBatch:    3,
+				ReturnBatch: 1,
+				RetryBase:   5 * time.Millisecond,
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range workerErrs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+
+	campaign := waitServe(t, serveCh)
+	if got := campaignCSV(t, campaign); got != want {
+		t.Errorf("CSV with batched returns diverges:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+	if st := coord.Stats(); st.Returned != len(cells) {
+		t.Errorf("coordinator merged %d returns, want %d", st.Returned, len(cells))
+	}
+}

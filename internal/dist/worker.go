@@ -28,6 +28,14 @@ type WorkerOptions struct {
 	// MaxBatch caps the cells requested per lease. Default 2×Workers,
 	// so the local pool stays fed while a return round-trips.
 	MaxBatch int
+	// ReturnBatch streams results back in batches: the worker posts up
+	// to this many finished cells per /v1/return instead of holding the
+	// whole lease until its last cell completes. Returned cells are
+	// settled on the coordinator immediately — an expiring lease
+	// re-leases only the cells still in flight — so smaller batches
+	// waste less work when a worker dies mid-lease. 0 (the default)
+	// returns the whole lease in one post.
+	ReturnBatch int
 	// Client is the HTTP client used to reach the coordinator. Default
 	// a client with a 30s request timeout.
 	Client *http.Client
@@ -42,6 +50,12 @@ type WorkerOptions struct {
 	RetryBase time.Duration
 	// RetryMax caps the backoff delay. Default 5s.
 	RetryMax time.Duration
+	// TraceDir overrides the campaign's trace-store directory
+	// (experiments.Options.TraceDir) on this worker. Empty inherits the
+	// coordinator's setting — which is what makes a multi-process fleet
+	// on one box generate each trace once; point it elsewhere when the
+	// coordinator's path does not exist on this machine.
+	TraceDir string
 }
 
 func (o WorkerOptions) name() string {
@@ -162,6 +176,9 @@ func Work(ctx context.Context, baseURL string, o WorkerOptions) (WorkerStats, er
 	// it would in the coordinator's own process; parallelism is local.
 	sopts := info.Options
 	sopts.Workers = o.workers()
+	if o.TraceDir != "" {
+		sopts.TraceDir = o.TraceDir
+	}
 	session := experiments.NewSession(sopts)
 	defer session.Close()
 
@@ -202,7 +219,65 @@ func Work(ctx context.Context, baseURL string, o WorkerOptions) (WorkerStats, er
 		// heartbeat cancels the run so the worker stops wasting work.
 		runCtx, cancelRun := context.WithCancel(ctx)
 		hb := startHeartbeat(runCtx, client, base, name, grant, cancelRun)
-		results := runLease(runCtx, session, grant.Cells)
+
+		// Results stream back in batches of ReturnBatch cells (the whole
+		// lease when unset). Each batch is a partial return — the
+		// coordinator settles the returned cells and keeps the rest
+		// leased — so a worker lost mid-lease forfeits only the cells it
+		// had not yet flushed.
+		batchSize := o.ReturnBatch
+		if batchSize <= 0 || batchSize > len(grant.Cells) {
+			batchSize = len(grant.Cells)
+		}
+		cells := make([]experiments.Cell, len(grant.Cells))
+		for i, lc := range grant.Cells {
+			cells[i] = lc.Cell
+		}
+		var pending []CellReturn
+		var cellErr string
+		var flushErr error
+		campaignDone := false
+		flush := func() {
+			if len(pending) == 0 || flushErr != nil || campaignDone {
+				return
+			}
+			var ack ReturnResponse
+			flushErr = retry(ctx, o, &stats, func() error {
+				return postJSON(ctx, client, base+"/v1/return",
+					ReturnRequest{LeaseID: grant.LeaseID, Worker: name, Results: pending}, &ack)
+			})
+			if flushErr == nil {
+				pending = pending[:0]
+				campaignDone = ack.Done
+			}
+		}
+		ch := session.StreamChan(runCtx, cells)
+		for res := range ch {
+			ret := CellReturn{Pos: grant.Cells[res.Pos].Pos}
+			stats.Cells++
+			switch {
+			case res.Err != nil:
+				ret.Err = res.Err.Error()
+				stats.Failed++
+				if cellErr == "" {
+					cellErr = ret.Err
+				}
+			default:
+				ret.Record = experiments.NewCellRecord(res.Cell, res.Outcome)
+			}
+			pending = append(pending, ret)
+			if len(pending) >= batchSize {
+				flush()
+				if flushErr != nil || campaignDone {
+					// Cancel the lease's remaining cells and drain the
+					// stream so no pool worker stays blocked on send.
+					cancelRun()
+					for range ch {
+					}
+					break
+				}
+			}
+		}
 		cancelRun()
 		<-hb.done
 		stats.Renewals += hb.renewals
@@ -212,25 +287,13 @@ func Work(ctx context.Context, baseURL string, o WorkerOptions) (WorkerStats, er
 		if err := ctx.Err(); err != nil {
 			return stats, err
 		}
-		var cellErr string
-		for _, res := range results {
-			stats.Cells++
-			if res.Err != "" {
-				stats.Failed++
-				if cellErr == "" {
-					cellErr = res.Err
-				}
-			}
+		if flushErr == nil && !campaignDone {
+			flush()
 		}
-		var ack ReturnResponse
-		err = retry(ctx, o, &stats, func() error {
-			return postJSON(ctx, client, base+"/v1/return",
-				ReturnRequest{LeaseID: grant.LeaseID, Worker: name, Results: results}, &ack)
-		})
-		if err != nil {
-			return stats, fmt.Errorf("dist: return: %w", err)
+		if flushErr != nil {
+			return stats, fmt.Errorf("dist: return: %w", flushErr)
 		}
-		if ack.Done {
+		if campaignDone {
 			// Done after our own failed cell means the failure ended the
 			// campaign: exit loudly, like the workers that will observe
 			// it via the lease path.

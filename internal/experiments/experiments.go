@@ -74,6 +74,13 @@ type Options struct {
 	// done-set reuse golden); this exists for benchmarks and the
 	// differential tests themselves.
 	NoSystemReuse bool
+	// TraceDir, when non-empty, names an on-disk tracestore directory
+	// consulted below the in-process trace cache: an LRU miss loads the
+	// trace from the store (mmap'd, zero-copy) before falling back to
+	// generation, and generated traces are published for other processes.
+	// Generation is deterministic, so the store — like the other cache
+	// knobs — cannot change results and is excluded from Fingerprint.
+	TraceDir string
 }
 
 // DefaultOptions returns the paper's campaign: genome/yada/intruder on

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/stamp"
+	"repro/internal/tracestore"
 	"repro/internal/workload"
 )
 
@@ -44,6 +45,13 @@ type Session struct {
 	traces     map[traceKey]*traceEntry
 	traceClock uint64 // logical use counter driving the LRU policy
 
+	// store is the shared on-disk trace store (Options.TraceDir), opened
+	// lazily on the first cache miss and closed with the session. nil
+	// when TraceDir is empty or the store failed to open.
+	storeOnce sync.Once
+	store     *tracestore.Store
+	storeErr  error
+
 	ckpt *Checkpoint
 }
 
@@ -61,14 +69,27 @@ func NewSession(o Options) *Session {
 // Options returns the options the session was created with.
 func (s *Session) Options() Options { return s.opts }
 
-// Close stops the worker pool and closes the checkpoint sink, if any.
-// Close waits for no in-flight work; finish or cancel streams first.
+// Close stops the worker pool, closes the checkpoint sink and releases
+// the on-disk trace store, if any. Close waits for no in-flight work;
+// finish or cancel streams first. Store-loaded traces alias mmap'd
+// regions Close unmaps, so the in-process trace cache is purged with it
+// — a task that straggles in after Close regenerates inline instead of
+// touching unmapped memory.
 func (s *Session) Close() error {
 	var err error
 	s.closed.Do(func() {
 		close(s.poolStop)
 		if s.ckpt != nil {
 			err = s.ckpt.Close()
+		}
+		s.traceMu.Lock()
+		s.traces = make(map[traceKey]*traceEntry)
+		st := s.store
+		s.traceMu.Unlock()
+		if st != nil {
+			if cerr := st.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
 		}
 	})
 	return err
@@ -403,12 +424,59 @@ func (s *Session) evictTrace() {
 	}
 }
 
+// traceStore lazily opens the on-disk store named by Options.TraceDir.
+// Opening happens at most once per session; a failure to open (an
+// uncreatable directory) is sticky and fails the cells that needed it —
+// loudly, because the user asked for the store by flag.
+func (s *Session) traceStore() (*tracestore.Store, error) {
+	s.storeOnce.Do(func() {
+		st, err := tracestore.Open(s.opts.TraceDir, tracestore.Options{})
+		if err != nil {
+			s.storeErr = err
+			return
+		}
+		s.traceMu.Lock()
+		s.store = st
+		s.traceMu.Unlock()
+	})
+	return s.store, s.storeErr
+}
+
+// provisionTrace materializes one cell's trace the cheapest correct way:
+// from the on-disk store when Options.TraceDir names one (loading a
+// published entry, or generating-and-publishing under the store's
+// cross-process single-flight lock), by direct generation otherwise.
+// Generation is deterministic, so every path yields identical bytes.
+func (s *Session) provisionTrace(c Cell) (*workload.Trace, error) {
+	if s.opts.TraceDir == "" {
+		return generateCellTrace(s.opts.Scale, c)
+	}
+	st, err := s.traceStore()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: trace store: %w", err)
+	}
+	scale := s.opts.Scale
+	if scale == 0 {
+		scale = 1.0
+	}
+	key := tracestore.Key{
+		App:        string(c.App),
+		Threads:    c.Processors,
+		Scale:      scale,
+		Contention: string(c.contentionOrBase()),
+		Seed:       c.Seed,
+	}
+	return st.GetOrGenerate(key, func() (*workload.Trace, error) {
+		return generateCellTrace(s.opts.Scale, c)
+	})
+}
+
 // trace returns the cell's workload trace, generating it on first use and
 // serving every later request for the same (app, threads, scale,
 // contention, seed) from the cache.
 func (s *Session) trace(c Cell) (*workload.Trace, error) {
 	if s.opts.NoTraceCache {
-		return generateCellTrace(s.opts.Scale, c)
+		return s.provisionTrace(c)
 	}
 	scale := s.opts.Scale
 	if scale == 0 {
@@ -435,7 +503,7 @@ func (s *Session) trace(c Cell) (*workload.Trace, error) {
 	e.useCount++
 	s.traceMu.Unlock()
 	e.once.Do(func() {
-		e.tr, e.err = generateCellTrace(s.opts.Scale, c)
+		e.tr, e.err = s.provisionTrace(c)
 	})
 	return e.tr, e.err
 }

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/stamp"
+)
+
+// countStoreEntries returns how many published trace entries dir holds.
+func countStoreEntries(t *testing.T, dir string) int {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, de := range ents {
+		if filepath.Ext(de.Name()) == ".cgt2" {
+			n++
+		}
+	}
+	return n
+}
+
+// TraceDir is a cache knob: like NoTraceCache and NoSystemReuse it
+// cannot change results, so it must not invalidate checkpoints written
+// without it.
+func TestTraceDirExcludedFromFingerprint(t *testing.T) {
+	base := Options{Seed: 42, Scale: 0.02}
+	stored := base
+	stored.TraceDir = t.TempDir()
+	if base.Fingerprint() != stored.Fingerprint() {
+		t.Fatal("TraceDir changed the options fingerprint; cache knobs must be excluded")
+	}
+}
+
+// TestTraceDirStoreKeyAudit extends the trace-cache key audit to the
+// on-disk store: cells differing only in machine axes (banks, topology,
+// W0) share one published entry, and a second session on the same
+// directory serves entirely from it — zero new generations, identical
+// CSV bytes.
+func TestTraceDirStoreKeyAudit(t *testing.T) {
+	dir := t.TempDir()
+	o := Options{Seed: 7, Scale: 0.02, TraceDir: dir,
+		Apps: []stamp.App{stamp.Intruder}, Processors: []int{8}}
+
+	s := NewSession(o)
+	base := Cell{App: stamp.Intruder, Processors: 8, Seed: 7}
+	banked := base
+	banked.Banks = 4
+	meshed := base
+	meshed.Topology = "mesh"
+	windowed := base
+	windowed.W0 = 16
+	if _, err := s.RunCells(context.Background(), []Cell{base, banked, meshed, windowed}); err != nil {
+		s.Close()
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := countStoreEntries(t, dir); n != 1 {
+		t.Fatalf("cells differing only in machine axes published %d store entries, want 1", n)
+	}
+
+	// A different processor count is a different workload: new entry.
+	s2 := NewSession(o)
+	wider := base
+	wider.Processors = 16
+	if _, err := s2.RunCells(context.Background(), []Cell{wider}); err != nil {
+		s2.Close()
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := countStoreEntries(t, dir); n != 2 {
+		t.Fatalf("store holds %d entries after a wider cell, want 2 (processor count is in the key)", n)
+	}
+}
+
+// TestTraceDirByteIdentity is the store's correctness contract at the
+// campaign level: the same campaign run without a store, with a cold
+// store, and again with a warm store (every trace loaded via mmap, none
+// generated) produces byte-identical CSV.
+func TestTraceDirByteIdentity(t *testing.T) {
+	dir := t.TempDir()
+	base := Options{Seed: 42, Scale: 0.02, Apps: []stamp.App{stamp.Genome, stamp.Yada}, Processors: []int{4, 8}}
+
+	runCSV := func(o Options) []byte {
+		s := NewSession(o)
+		defer s.Close()
+		camp, err := s.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := camp.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	off := runCSV(base)
+	stored := base
+	stored.TraceDir = dir
+	cold := runCSV(stored) // generates and publishes
+	if countStoreEntries(t, dir) == 0 {
+		t.Fatal("cold run published no store entries")
+	}
+	warm := runCSV(stored) // second session: every trace store-loaded
+
+	if !bytes.Equal(off, cold) {
+		t.Fatal("campaign with a cold trace store differs from one without a store")
+	}
+	if !bytes.Equal(off, warm) {
+		t.Fatal("campaign served from a warm trace store differs from one without a store")
+	}
+}

@@ -1,0 +1,32 @@
+//go:build !unix
+
+package tracestore
+
+import "sync"
+
+// Without flock, single-flight degrades to per-process: a global mutex
+// map serializes generations for a key inside this process, and racing
+// processes may each generate once. Publication stays atomic (temp +
+// rename), so the store is still correct — just less economical.
+var (
+	lockMu sync.Mutex
+	locks  = map[string]*sync.Mutex{}
+)
+
+type fileLock struct {
+	mu *sync.Mutex
+}
+
+func acquireLock(path string) (fileLock, error) {
+	lockMu.Lock()
+	mu, ok := locks[path]
+	if !ok {
+		mu = &sync.Mutex{}
+		locks[path] = mu
+	}
+	lockMu.Unlock()
+	mu.Lock()
+	return fileLock{mu: mu}, nil
+}
+
+func (l fileLock) release() { l.mu.Unlock() }

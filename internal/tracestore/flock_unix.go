@@ -1,0 +1,36 @@
+//go:build unix
+
+package tracestore
+
+import (
+	"os"
+	"syscall"
+)
+
+// fileLock is an exclusive flock(2) on a per-key lock file. flock
+// contends between file descriptions, not processes, so two Store
+// handles in one process race exactly like two processes do — which is
+// what lets tests exercise the cross-process protocol in-process. The
+// lock file itself is never removed: unlink+flock races can hand two
+// lockers different inodes, and an empty leftover file per key is
+// cheaper than that bug.
+type fileLock struct {
+	f *os.File
+}
+
+func acquireLock(path string) (fileLock, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o666)
+	if err != nil {
+		return fileLock{}, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX); err != nil {
+		f.Close()
+		return fileLock{}, err
+	}
+	return fileLock{f: f}, nil
+}
+
+func (l fileLock) release() {
+	syscall.Flock(int(l.f.Fd()), syscall.LOCK_UN)
+	l.f.Close()
+}

@@ -1,0 +1,22 @@
+//go:build !unix
+
+package tracestore
+
+import "os"
+
+// mapping on non-Unix hosts is a plain in-memory copy of the file. The
+// aliasing decode still applies (the slice is ordinarily 8-aligned), but
+// the zero-copy property is per-load rather than shared page cache.
+type mapping struct {
+	data []byte
+}
+
+func mapFile(path string) (mapping, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return mapping{}, err
+	}
+	return mapping{data: data}, nil
+}
+
+func (m mapping) close() error { return nil }

@@ -1,0 +1,48 @@
+//go:build unix
+
+package tracestore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapping is a read-only view of a published entry's bytes. On Unix it
+// is an mmap'd region: traces returned by the store alias it directly,
+// so it stays mapped until Store.Close. The file descriptor is closed
+// right after mmap — the mapping keeps the pages alive, and unlinking
+// the file (eviction by another process) does not invalidate them.
+type mapping struct {
+	data []byte
+	mmap bool
+}
+
+func mapFile(path string) (mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return mapping{}, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return mapping{}, err
+	}
+	size := info.Size()
+	if size == 0 {
+		// mmap rejects zero-length maps; an empty file is simply a
+		// corrupt entry and the decoder will say so.
+		return mapping{data: []byte{}}, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return mapping{}, err
+	}
+	return mapping{data: data, mmap: true}, nil
+}
+
+func (m mapping) close() error {
+	if !m.mmap {
+		return nil
+	}
+	return syscall.Munmap(m.data)
+}

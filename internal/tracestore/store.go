@@ -1,0 +1,353 @@
+// Package tracestore is a content-addressed on-disk store of generated
+// STAMP traces, shared by every process on a machine. The in-process
+// trace cache in internal/experiments stops at the process boundary: a
+// 16-worker fleet on one box generates each trace 16 times. This store
+// makes trace provisioning a machine-wide resource — the first process
+// to need a trace generates and publishes it; everyone else maps the
+// published file and aliases its op arrays with zero per-load copies.
+//
+// Entries are keyed by the same fields as the in-process trace cache
+// (app, threads, scale, contention, seed — the key audit in
+// experiments.TestTraceCacheKeyAudit pins that set): two cells that
+// would share an in-process cache slot share one file here. Each entry
+// is a CGTRACE2 file named by the SHA-256 fingerprint of its key,
+// published atomically (temp file + rename), self-checked by its
+// embedded checksum, and guarded by a per-key flock(2) so N processes
+// racing on a cold key perform exactly one generation.
+package tracestore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// Key identifies a stored trace. The field set deliberately matches the
+// in-process trace-cache key: only inputs that change generated trace
+// bytes belong here. Banks, topology, technology, W0 and scheduling
+// variant shape simulation, not generation, and must stay out — adding
+// one would silently split the cache.
+type Key struct {
+	App        string
+	Threads    int
+	Scale      float64
+	Contention string
+	Seed       uint64
+}
+
+// Fingerprint returns the hex SHA-256 content address of the key. It is
+// the entry's file name, so it must be stable across processes,
+// machines and releases of this package.
+func (k Key) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "app=%s\nthreads=%d\nscale=%s\ncontention=%s\nseed=%d\n",
+		k.App, k.Threads, strconv.FormatFloat(k.Scale, 'g', -1, 64), k.Contention, k.Seed)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Options configures a Store.
+type Options struct {
+	// MaxBytes bounds the total size of published entries. When a
+	// publication pushes the store past the bound, least-recently-used
+	// entries (by modification time, which Load refreshes) are evicted
+	// until it fits. 0 means DefaultMaxBytes; negative means unbounded.
+	MaxBytes int64
+}
+
+// DefaultMaxBytes is the eviction bound when Options.MaxBytes is zero.
+// Full-scale STAMP traces run tens of megabytes; 2 GiB holds a few
+// dozen distinct keys, far more than one campaign touches.
+const DefaultMaxBytes = 2 << 30
+
+// Store is a handle on one on-disk trace store directory. It is safe
+// for concurrent use by multiple goroutines, and the directory is safe
+// for concurrent use by multiple processes.
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	mu       sync.Mutex
+	closed   bool
+	mappings []mapping // mmap'd regions live traces alias; unmapped on Close
+	// loaded caches the decoded trace per fingerprint: entries are
+	// content-addressed, so a fingerprint can only ever name one trace,
+	// and re-loading it must reuse the existing mapping instead of
+	// stacking a new mmap per call.
+	loaded map[string]*workload.Trace
+	stats  Stats
+}
+
+// Stats counts store traffic on one handle.
+type Stats struct {
+	Hits        int64 // Load found a valid entry
+	Misses      int64 // Load found nothing
+	Generations int64 // GetOrGenerate ran the generator
+	Quarantines int64 // corrupt entries moved aside
+	Evictions   int64 // entries removed by the size bound
+}
+
+// Open returns a handle on the store rooted at dir, creating the
+// directory if needed.
+func Open(dir string, o Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("tracestore: open: %w", err)
+	}
+	max := o.MaxBytes
+	if max == 0 {
+		max = DefaultMaxBytes
+	}
+	return &Store{dir: dir, maxBytes: max, loaded: map[string]*workload.Trace{}}, nil
+}
+
+func (s *Store) entryPath(fp string) string { return filepath.Join(s.dir, fp+".cgt2") }
+func (s *Store) lockPath(fp string) string  { return filepath.Join(s.dir, fp+".lock") }
+
+// Load returns the stored trace for key, or ok=false on a miss. A
+// corrupt entry (truncated, bit-flipped, half-written by a crashed
+// writer) is quarantined — renamed aside with a .bad suffix — and
+// reported as a miss, never returned. On a hit the entry's modification
+// time is refreshed so eviction sees it as recently used, and the
+// returned trace aliases an mmap'd region that stays valid until Close.
+func (s *Store) Load(key Key) (*workload.Trace, bool, error) {
+	fp := key.Fingerprint()
+	tr, ok, err := s.load(fp)
+	s.mu.Lock()
+	if ok {
+		s.stats.Hits++
+	} else {
+		s.stats.Misses++
+	}
+	s.mu.Unlock()
+	return tr, ok, err
+}
+
+func (s *Store) load(fp string) (*workload.Trace, bool, error) {
+	path := s.entryPath(fp)
+	s.mu.Lock()
+	if tr, ok := s.loaded[fp]; ok && !s.closed {
+		s.mu.Unlock()
+		now := time.Now()
+		_ = os.Chtimes(path, now, now) // LRU touch; best-effort
+		return tr, true, nil
+	}
+	s.mu.Unlock()
+	m, err := mapFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("tracestore: load: %w", err)
+	}
+	tr, derr := workload.DecodeV2Bytes(m.data)
+	if derr != nil {
+		m.close()
+		if errors.Is(derr, workload.ErrCorrupt) {
+			s.quarantine(path, derr)
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("tracestore: load: %w", derr)
+	}
+	s.mu.Lock()
+	if s.closed {
+		// Raced with Close: don't leak the mapping, and don't hand out a
+		// trace whose backing bytes are about to be unmapped.
+		s.mu.Unlock()
+		m.close()
+		return nil, false, nil
+	}
+	s.mappings = append(s.mappings, m)
+	s.loaded[fp] = tr
+	s.mu.Unlock()
+	now := time.Now()
+	_ = os.Chtimes(path, now, now) // LRU touch; best-effort
+	return tr, true, nil
+}
+
+// quarantine moves a corrupt entry aside so the next generation can
+// publish a clean one, keeping the bytes around for a post-mortem.
+func (s *Store) quarantine(path string, cause error) {
+	s.mu.Lock()
+	s.stats.Quarantines++
+	s.mu.Unlock()
+	if err := os.Rename(path, path+".bad"); err != nil && !errors.Is(err, os.ErrNotExist) {
+		// Rename failed (another process may have won the same race);
+		// removing is an acceptable fallback — the entry must not be
+		// loadable again.
+		_ = os.Remove(path)
+	}
+	_ = cause
+}
+
+// GetOrGenerate returns the stored trace for key, generating and
+// publishing it on a miss. A per-key file lock makes generation
+// single-flight across processes: of N processes racing on a cold key,
+// exactly one runs gen; the rest block on the lock and then load the
+// published entry. If the store directory has become unusable (or the
+// handle is closed), the trace is generated directly so callers degrade
+// to PR-2 behavior instead of failing.
+func (s *Store) GetOrGenerate(key Key, gen func() (*workload.Trace, error)) (*workload.Trace, error) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return gen()
+	}
+
+	// Fast path: published entry, no lock traffic.
+	if tr, ok, err := s.Load(key); err != nil {
+		return nil, err
+	} else if ok {
+		return tr, nil
+	}
+
+	fp := key.Fingerprint()
+	lock, err := acquireLock(s.lockPath(fp))
+	if err != nil {
+		// Can't lock (exotic filesystem, read-only dir): generate
+		// without publishing rather than fail the run.
+		return gen()
+	}
+	defer lock.release()
+
+	// Someone may have published while this process waited on the lock.
+	if tr, ok, err := s.load(fp); err != nil {
+		return nil, err
+	} else if ok {
+		s.mu.Lock()
+		s.stats.Hits++
+		s.mu.Unlock()
+		return tr, nil
+	}
+
+	tr, err := gen()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.stats.Generations++
+	s.mu.Unlock()
+	if err := s.publish(fp, tr); err != nil {
+		// Publication is an optimization; the generated trace is good.
+		return tr, nil
+	}
+	s.evict()
+	return tr, nil
+}
+
+// publish writes the trace to a temp file in the store directory and
+// renames it into place, so concurrent readers only ever observe
+// absent or complete entries — a crash mid-write leaves a temp file,
+// never a half-written entry under the content address.
+func (s *Store) publish(fp string, tr *workload.Trace) error {
+	buf, err := workload.MarshalV2(tr)
+	if err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(s.dir, "tmp-"+fp[:16]+"-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, s.entryPath(fp)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// evict removes least-recently-used entries until the store fits
+// MaxBytes. Modification time is the recency signal (Load refreshes it;
+// atime is unreliable on noatime mounts). Unlinking a file other
+// processes have mapped is safe on Unix: their mappings stay valid
+// until they unmap.
+func (s *Store) evict() {
+	if s.maxBytes < 0 {
+		return
+	}
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	type entry struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var entries []entry
+	var total int64
+	for _, de := range ents {
+		if filepath.Ext(de.Name()) != ".cgt2" {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		entries = append(entries, entry{filepath.Join(s.dir, de.Name()), info.Size(), info.ModTime()})
+		total += info.Size()
+	}
+	if total <= s.maxBytes {
+		return
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime.Before(entries[j].mtime) })
+	for _, e := range entries {
+		if total <= s.maxBytes {
+			break
+		}
+		if os.Remove(e.path) == nil {
+			total -= e.size
+			s.mu.Lock()
+			s.stats.Evictions++
+			s.mu.Unlock()
+		}
+	}
+}
+
+// Stats returns a snapshot of this handle's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Close unmaps every region this handle's loaded traces alias. Traces
+// returned by Load/GetOrGenerate must not be used after Close. After
+// Close, GetOrGenerate falls back to direct generation and Load always
+// misses, so a handle shared with late stragglers stays safe.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	maps := s.mappings
+	s.mappings = nil
+	s.loaded = nil
+	s.mu.Unlock()
+	var first error
+	for _, m := range maps {
+		if err := m.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,357 @@
+package tracestore
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/stamp"
+	"repro/internal/workload"
+)
+
+// testTrace generates a small deterministic trace the way the session
+// engine does, scaled far down so tests stay fast.
+func testTrace(t *testing.T, threads int, seed uint64) *workload.Trace {
+	t.Helper()
+	spec, err := stamp.Spec(stamp.Genome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.TotalTxs = 64 * threads
+	tr, err := spec.Generate(threads, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func testKey(seed uint64) Key {
+	return Key{App: "genome", Threads: 4, Scale: 0.01, Contention: "base", Seed: seed}
+}
+
+// The fingerprint is the on-disk content address: it must never change
+// across releases, or every existing store silently goes cold.
+func TestFingerprintPinned(t *testing.T) {
+	got := testKey(9).Fingerprint()
+	const want = "12be559f826c197c9a3efaa478293adb5d9830f66d6a6fc246ad19f7b7cd587e"
+	if got != want {
+		t.Fatalf("fingerprint drifted: got %s, want %s", got, want)
+	}
+	if testKey(9) == testKey(10) || testKey(9).Fingerprint() == testKey(10).Fingerprint() {
+		t.Fatal("distinct keys collide")
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	want := testTrace(t, 4, 9)
+	gens := 0
+	got, err := st.GetOrGenerate(testKey(9), func() (*workload.Trace, error) {
+		gens++
+		return testTrace(t, 4, 9), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gens != 1 {
+		t.Fatalf("cold key ran generator %d times, want 1", gens)
+	}
+	if !reflect.DeepEqual(got.Threads, want.Threads) || got.Name != want.Name {
+		t.Fatal("generated trace does not match direct generation")
+	}
+
+	// A second handle — as another process would open — must hit.
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	loaded, ok, err := st2.Load(testKey(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("published entry not found by a second handle")
+	}
+	if !reflect.DeepEqual(loaded.Threads, want.Threads) || loaded.Name != want.Name {
+		t.Fatal("loaded trace does not match the generated one")
+	}
+	if s := st2.Stats(); s.Hits != 1 {
+		t.Fatalf("stats = %+v, want one hit", s)
+	}
+}
+
+// TestSingleFlight pins the cross-process protocol: flock(2) contends
+// between file descriptions, so two Store handles in one process race
+// exactly like two worker processes sharing a cold store — and exactly
+// one of them may run the generator. Every racer must end with
+// byte-identical trace content.
+func TestSingleFlight(t *testing.T) {
+	dir := t.TempDir()
+	const racers = 8
+	var gens atomic.Int64
+	gate := make(chan struct{})
+
+	traces := make([]*workload.Trace, racers)
+	errs := make([]error, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		st, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		wg.Add(1)
+		go func(i int, st *Store) {
+			defer wg.Done()
+			<-gate
+			traces[i], errs[i] = st.GetOrGenerate(testKey(7), func() (*workload.Trace, error) {
+				gens.Add(1)
+				return testTrace(t, 4, 7), nil
+			})
+		}(i, st)
+	}
+	close(gate)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("racer %d: %v", i, err)
+		}
+	}
+	if n := gens.Load(); n != 1 {
+		t.Fatalf("%d racers on a cold key ran %d generations, want exactly 1", racers, n)
+	}
+	first, err := workload.MarshalV2(traces[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < racers; i++ {
+		b, err := workload.MarshalV2(traces[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, b) {
+			t.Fatalf("racer %d loaded a trace with different bytes", i)
+		}
+	}
+}
+
+// A corrupt entry — truncated by a crash, bit-flipped by a disk — must
+// never be returned: Load quarantines it and reports a miss, and the
+// next GetOrGenerate regenerates and republishes a clean entry.
+func TestCorruptEntryQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	key := testKey(3)
+	if _, err := st.GetOrGenerate(key, func() (*workload.Trace, error) {
+		return testTrace(t, 2, 3), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	path := st.entryPath(key.Fingerprint())
+
+	corruptions := map[string]func([]byte) []byte{
+		"truncated": func(b []byte) []byte { return b[:len(b)/2] },
+		"bitflip":   func(b []byte) []byte { b[len(b)/3] ^= 0x10; return b },
+	}
+	for name, mutate := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			clean, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, mutate(bytes.Clone(clean)), 0o666); err != nil {
+				t.Fatal(err)
+			}
+
+			if _, ok, err := st.Load(key); err != nil || ok {
+				t.Fatalf("corrupt entry: Load = (ok=%v, err=%v), want clean miss", ok, err)
+			}
+			if _, err := os.Stat(path + ".bad"); err != nil {
+				t.Fatalf("corrupt entry not quarantined: %v", err)
+			}
+			os.Remove(path + ".bad")
+
+			gens := 0
+			tr, err := st.GetOrGenerate(key, func() (*workload.Trace, error) {
+				gens++
+				return testTrace(t, 2, 3), nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gens != 1 {
+				t.Fatalf("regeneration after quarantine ran %d generations, want 1", gens)
+			}
+			republished, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("clean entry not republished: %v", err)
+			}
+			if !bytes.Equal(republished, clean) {
+				t.Fatal("republished entry differs from the original bytes")
+			}
+			if tr == nil || len(tr.Threads) == 0 {
+				t.Fatal("regenerated trace is empty")
+			}
+		})
+	}
+	if q := st.Stats().Quarantines; q != 2 {
+		t.Fatalf("stats count %d quarantines, want 2", q)
+	}
+}
+
+func TestEvictionBySize(t *testing.T) {
+	dir := t.TempDir()
+	// Publish one entry to learn the per-entry size, then bound the
+	// store to roughly two entries.
+	probe, err := Open(dir, Options{MaxBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := probe.GetOrGenerate(testKey(0), func() (*workload.Trace, error) {
+		return testTrace(t, 2, 0), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	probe.Close()
+	info, err := os.Stat(probe.entryPath(testKey(0).Fingerprint()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entrySize := info.Size()
+
+	st, err := Open(dir, Options{MaxBytes: 2*entrySize + entrySize/2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for seed := uint64(1); seed <= 4; seed++ {
+		if _, err := st.GetOrGenerate(testKey(seed), func() (*workload.Trace, error) {
+			return testTrace(t, 2, seed), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var total int64
+	var kept int
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range ents {
+		if filepath.Ext(de.Name()) != ".cgt2" {
+			continue
+		}
+		fi, err := de.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += fi.Size()
+		kept++
+	}
+	if total > 2*entrySize+entrySize/2 {
+		t.Fatalf("store holds %d bytes after eviction, bound is %d", total, 2*entrySize+entrySize/2)
+	}
+	if kept == 0 {
+		t.Fatal("eviction removed every entry")
+	}
+	// The newest entry must have survived (eviction is LRU by mtime).
+	if _, err := os.Stat(st.entryPath(testKey(4).Fingerprint())); err != nil {
+		t.Fatalf("most recent entry evicted: %v", err)
+	}
+	if st.Stats().Evictions == 0 {
+		t.Fatal("stats recorded no evictions")
+	}
+}
+
+// TestLoadAllocBounded pins the zero-copy contract of a store hit: the
+// mmap'd file backs the trace's op arrays directly, so however many ops
+// the trace holds, Load allocates only the fixed trace skeleton.
+func TestLoadAllocBounded(t *testing.T) {
+	if !workload.AliasingSupported() {
+		t.Skip("host Op layout does not permit the aliasing decode")
+	}
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	key := testKey(11)
+	big := func(t *testing.T) *workload.Trace {
+		spec, err := stamp.Spec(stamp.Genome)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec.TotalTxs = 4096
+		tr, err := spec.Generate(4, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	if _, err := st.GetOrGenerate(key, func() (*workload.Trace, error) { return big(t), nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	allocs := testing.AllocsPerRun(8, func() {
+		if _, ok, err := st.Load(key); err != nil || !ok {
+			t.Fatalf("Load = (ok=%v, err=%v)", ok, err)
+		}
+	})
+	// 4096 transactions: a copying load pays thousands of allocations;
+	// the mmap-aliasing load pays a fixed handful for the skeleton.
+	if allocs > 32 {
+		t.Fatalf("store hit allocated %v times, want <= 32", allocs)
+	}
+}
+
+// After Close, the handle degrades safely: loads miss, generation runs
+// inline, and no mapping is leaked.
+func TestClosedStoreFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(5)
+	if _, err := st.GetOrGenerate(key, func() (*workload.Trace, error) {
+		return testTrace(t, 2, 5), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := st.Load(key); err != nil || ok {
+		t.Fatalf("Load after Close = (ok=%v, err=%v), want miss", ok, err)
+	}
+	gens := 0
+	tr, err := st.GetOrGenerate(key, func() (*workload.Trace, error) {
+		gens++
+		return testTrace(t, 2, 5), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gens != 1 || tr == nil {
+		t.Fatalf("GetOrGenerate after Close: gens=%d tr=%v, want inline generation", gens, tr != nil)
+	}
+}

@@ -3,11 +3,26 @@ package workload
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
 	"repro/internal/mem"
 )
+
+// ErrCorrupt is the sentinel wrapped by every trace-decode failure —
+// truncation, bad magic, checksum mismatches, length prefixes that
+// disagree with the input. Decoders consume bytes another process may
+// have half-written or a disk may have mangled (the trace store loads
+// them concurrently with writers), so callers branch on
+// errors.Is(err, ErrCorrupt) to quarantine and regenerate instead of
+// failing the run.
+var ErrCorrupt = errors.New("workload: corrupt trace")
+
+// corruptf wraps ErrCorrupt with context, analogous to fmt.Errorf.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("workload: "+format+": %w", append(args, ErrCorrupt)...)
+}
 
 // Binary trace format:
 //
@@ -94,15 +109,26 @@ func Encode(w io.Writer, tr *Trace) error {
 	return bw.Flush()
 }
 
-// Decode reads a trace in the binary trace format.
+// decodeChunk caps the capacity any single length prefix can size ahead
+// of the bytes that back it. A prefix claiming a billion transactions in
+// a 100-byte file must fail on the next read, not allocate gigabytes
+// first: slices grow by append as elements are actually decoded, so the
+// allocation never runs ahead of the input by more than one chunk.
+const decodeChunk = 4096
+
+// Decode reads a trace in the binary trace format. The input is treated
+// as untrusted — the trace store hands Decode files another process may
+// have half-written or a disk may have mangled — so every length prefix
+// is bounded by the bytes that actually follow it, and every failure
+// wraps ErrCorrupt.
 func Decode(r io.Reader) (*Trace, error) {
 	br := bufio.NewReader(r)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("workload: decode magic: %w", err)
+		return nil, corruptf("decode magic: %v", err)
 	}
 	if magic != traceMagic {
-		return nil, fmt.Errorf("workload: bad trace magic %q", magic)
+		return nil, corruptf("bad trace magic %q", magic)
 	}
 	le := binary.LittleEndian
 	readU32 := func() (uint32, error) {
@@ -121,74 +147,73 @@ func Decode(r io.Reader) (*Trace, error) {
 	}
 	nameLen, err := readU32()
 	if err != nil {
-		return nil, fmt.Errorf("workload: decode name length: %w", err)
+		return nil, corruptf("decode name length: %v", err)
 	}
 	const maxName = 1 << 16
 	if nameLen > maxName {
-		return nil, fmt.Errorf("workload: name length %d exceeds limit", nameLen)
+		return nil, corruptf("name length %d exceeds limit", nameLen)
 	}
 	nameBuf := make([]byte, nameLen)
 	if _, err := io.ReadFull(br, nameBuf); err != nil {
-		return nil, fmt.Errorf("workload: decode name: %w", err)
+		return nil, corruptf("decode name: %v", err)
 	}
 	nThreads, err := readU32()
 	if err != nil {
-		return nil, fmt.Errorf("workload: decode thread count: %w", err)
+		return nil, corruptf("decode thread count: %v", err)
 	}
 	const maxThreads = 1 << 16
 	if nThreads == 0 || nThreads > maxThreads {
-		return nil, fmt.Errorf("workload: thread count %d out of range", nThreads)
+		return nil, corruptf("thread count %d out of range", nThreads)
 	}
 	tr := &Trace{Name: string(nameBuf), Threads: make([]Thread, nThreads)}
 	for ti := range tr.Threads {
 		nTxs, err := readU32()
 		if err != nil {
-			return nil, fmt.Errorf("workload: decode thread %d: %w", ti, err)
+			return nil, corruptf("decode thread %d: %v", ti, err)
 		}
 		th := &tr.Threads[ti]
-		th.Txs = make([]Transaction, nTxs)
-		th.InterTx = make([]int32, nTxs)
-		for xi := range th.Txs {
+		th.Txs = make([]Transaction, 0, min(int(nTxs), decodeChunk))
+		th.InterTx = make([]int32, 0, min(int(nTxs), decodeChunk))
+		for xi := 0; xi < int(nTxs); xi++ {
 			inter, err := readU32()
 			if err != nil {
-				return nil, fmt.Errorf("workload: decode tx header: %w", err)
+				return nil, corruptf("decode tx header: %v", err)
 			}
-			th.InterTx[xi] = int32(inter)
 			pc, err := readU64()
 			if err != nil {
-				return nil, fmt.Errorf("workload: decode tx pc: %w", err)
+				return nil, corruptf("decode tx pc: %v", err)
 			}
 			nOps, err := readU32()
 			if err != nil {
-				return nil, fmt.Errorf("workload: decode op count: %w", err)
+				return nil, corruptf("decode op count: %v", err)
 			}
-			tx := &th.Txs[xi]
-			tx.PC = pc
-			tx.Ops = make([]Op, nOps)
-			for oi := range tx.Ops {
+			tx := Transaction{PC: pc, Ops: make([]Op, 0, min(int(nOps), decodeChunk))}
+			for oi := 0; oi < int(nOps); oi++ {
 				kind, err := br.ReadByte()
 				if err != nil {
-					return nil, fmt.Errorf("workload: decode op kind: %w", err)
+					return nil, corruptf("decode op kind: %v", err)
 				}
-				op := &tx.Ops[oi]
-				op.Kind = OpKind(kind)
+				op := Op{Kind: OpKind(kind)}
 				switch op.Kind {
 				case OpRead, OpWrite:
 					line, err := readU64()
 					if err != nil {
-						return nil, fmt.Errorf("workload: decode op line: %w", err)
+						return nil, corruptf("decode op line: %v", err)
 					}
 					op.Line = mem.LineAddr(line)
 				case OpCompute:
 					cy, err := readU32()
 					if err != nil {
-						return nil, fmt.Errorf("workload: decode op cycles: %w", err)
+						return nil, corruptf("decode op cycles: %v", err)
 					}
 					op.Cycles = int32(cy)
 				default:
-					return nil, fmt.Errorf("workload: decode: bad op kind %d", kind)
+					return nil, corruptf("decode: bad op kind %d", kind)
 				}
+				tx.Ops = append(tx.Ops, op)
 			}
+			th.Txs = append(th.Txs, tx)
+			th.InterTx = append(th.InterTx, int32(inter))
 		}
 	}
 	return tr, nil

@@ -1,0 +1,219 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/fnv"
+	"reflect"
+	"testing"
+)
+
+func TestV2RoundTrip(t *testing.T) {
+	s := validSpec()
+	tr, err := s.Generate(4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := MarshalV2(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeV2Bytes(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name {
+		t.Fatalf("name %q, want %q", got.Name, tr.Name)
+	}
+	if !reflect.DeepEqual(got.Threads, tr.Threads) {
+		t.Fatal("threads not preserved by round trip")
+	}
+}
+
+// The format is the content address: the same trace must always marshal
+// to the same bytes, and re-encoding a decoded trace must reproduce the
+// original file image exactly.
+func TestV2Deterministic(t *testing.T) {
+	s := validSpec()
+	tr, err := s.Generate(3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := MarshalV2(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MarshalV2(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two marshals of one trace differ")
+	}
+	got, err := DecodeV2Bytes(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := MarshalV2(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, c) {
+		t.Fatal("re-encoding a decoded trace changed the bytes")
+	}
+}
+
+// fixV2Checksum recomputes the header checksum after a test mutated the
+// file image, so corruption tests exercise the validation they target
+// instead of tripping the checksum first.
+func fixV2Checksum(buf []byte) {
+	h := fnv.New64a()
+	h.Write(buf[16:])
+	binary.LittleEndian.PutUint64(buf[8:], h.Sum64())
+}
+
+func TestV2RejectsCorruption(t *testing.T) {
+	s := validSpec()
+	tr, err := s.Generate(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := MarshalV2(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every strict prefix must fail cleanly, never panic.
+	for _, cut := range []int{0, 7, 8, 16, 39, 40, len(full) / 2, len(full) - 1} {
+		if _, err := DecodeV2Bytes(full[:cut]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation at %d: err = %v, want ErrCorrupt", cut, err)
+		}
+	}
+
+	// A bit flip anywhere in the body trips the checksum.
+	for _, pos := range []int{16, 41, len(full) / 2, len(full) - 1} {
+		mut := bytes.Clone(full)
+		mut[pos] ^= 0x40
+		if _, err := DecodeV2Bytes(mut); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("bit flip at %d: err = %v, want ErrCorrupt", pos, err)
+		}
+	}
+
+	// Bad magic.
+	mut := bytes.Clone(full)
+	copy(mut, "NOTTRACE")
+	if _, err := DecodeV2Bytes(mut); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: err = %v, want ErrCorrupt", err)
+	}
+
+	// A lying op count with a valid checksum must be rejected by the
+	// size arithmetic, not trusted into an allocation or an index.
+	mut = bytes.Clone(full)
+	binary.LittleEndian.PutUint64(mut[32:], 1<<30)
+	fixV2Checksum(mut)
+	if _, err := DecodeV2Bytes(mut); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("lying op count: err = %v, want ErrCorrupt", err)
+	}
+
+	// An op kind outside the enum, checksum fixed up.
+	_, err = DecodeV2Bytes(full) // locate the op section via a clean decode
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut = bytes.Clone(full)
+	mut[len(mut)-v2OpRecSize] = 99
+	fixV2Checksum(mut)
+	if _, err := DecodeV2Bytes(mut); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad op kind: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestV2DecodeAllocBounded pins the zero-copy contract of the aliasing
+// decode: however many operations the trace holds, decoding allocates
+// only the fixed trace skeleton (trace, thread table, transaction
+// arena, name) — never a per-transaction or per-op copy of the payload.
+func TestV2DecodeAllocBounded(t *testing.T) {
+	if !opsAliasable {
+		t.Skip("host Op layout does not permit the aliasing decode")
+	}
+	s := validSpec()
+	s.TotalTxs = 4096
+	tr, err := s.Generate(4, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := MarshalV2(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(16, func() {
+		if _, err := DecodeV2Bytes(buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// 4 threads x 1024 txs: a copying decode pays thousands of
+	// allocations; the aliasing decode pays a handful.
+	if allocs > 16 {
+		t.Fatalf("aliasing decode allocated %v times per load, want <= 16", allocs)
+	}
+}
+
+func TestDecodeWrapsErrCorrupt(t *testing.T) {
+	// CGTRACE1: truncation, bad magic and lying counts all wrap the
+	// sentinel, so the store can branch on errors.Is to quarantine.
+	if _, err := Decode(bytes.NewReader([]byte("NOTATRACE-------"))); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: err = %v, want ErrCorrupt", err)
+	}
+	s := validSpec()
+	tr, err := s.Generate(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	if _, err := Decode(bytes.NewReader(full[:len(full)/2])); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncation: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestDecodeLyingCountsNoOOM feeds headers whose length prefixes claim
+// astronomically more elements than the input holds. The decoder must
+// fail on the missing bytes without sizing allocations from the lie.
+func TestDecodeLyingCountsNoOOM(t *testing.T) {
+	le := binary.LittleEndian
+	var buf bytes.Buffer
+	buf.WriteString("CGTRACE1")
+	var u32 [4]byte
+	le.PutUint32(u32[:], 0) // empty name
+	buf.Write(u32[:])
+	le.PutUint32(u32[:], 1) // one thread
+	buf.Write(u32[:])
+	le.PutUint32(u32[:], 0xffff_ffff) // claiming 4B transactions
+	buf.Write(u32[:])
+	if _, err := Decode(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("lying tx count: err = %v, want ErrCorrupt", err)
+	}
+
+	// Same lie one level down: a single tx claiming 4B ops.
+	buf.Reset()
+	buf.WriteString("CGTRACE1")
+	le.PutUint32(u32[:], 0)
+	buf.Write(u32[:])
+	le.PutUint32(u32[:], 1)
+	buf.Write(u32[:])
+	le.PutUint32(u32[:], 1) // one tx
+	buf.Write(u32[:])
+	le.PutUint32(u32[:], 5) // interTx
+	buf.Write(u32[:])
+	var u64 [8]byte
+	buf.Write(u64[:]) // pc
+	le.PutUint32(u32[:], 0xffff_ffff)
+	buf.Write(u32[:])
+	if _, err := Decode(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("lying op count: err = %v, want ErrCorrupt", err)
+	}
+}
